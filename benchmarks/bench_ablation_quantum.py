@@ -1,0 +1,62 @@
+"""Ablation — the τ-scaled overflow quantum (EXPERIMENTS.md deviation #1).
+
+Algorithm 1's pseudocode reuses ``W/k`` as both the stream-tick block
+length and the overflow threshold on the (sampled) in-frame counts.  The
+two only coincide at τ = 1; taken literally, small τ means sampled counts
+never reach the threshold, the overflow table stays empty, and the sketch
+degrades to an interval-reset estimator.
+
+This bench measures the on-arrival RMSE with the scaled quantum (our
+default) against the literal pseudocode, at a moderate and a small τ,
+quantifying why the deviation is necessary.
+"""
+
+from __future__ import annotations
+
+from repro import Memento, generate_trace, on_arrival_rmse
+from repro.experiments.common import format_rows, scaled
+from repro.traffic.synth import BACKBONE
+
+
+def run_sweep():
+    window = scaled(20_000)
+    stream = generate_trace(BACKBONE, 3 * window, seed=55).packets_1d()
+    rows = []
+    for tau in (1.0, 2**-2, 2**-6):
+        for scaled_quantum in (True, False):
+            sketch = Memento(
+                window=window,
+                counters=512,
+                tau=tau,
+                seed=55,
+                scale_overflow_quantum=scaled_quantum,
+            )
+            rmse = on_arrival_rmse(
+                sketch,
+                stream,
+                window=sketch.effective_window,
+                stride=8,
+                warmup=window,
+            )
+            rows.append(
+                {
+                    "tau": tau,
+                    "quantum": "scaled" if scaled_quantum else "literal",
+                    "sample_block": sketch.sample_block,
+                    "rmse": rmse,
+                }
+            )
+    return rows
+
+
+def test_overflow_quantum_ablation(benchmark, save):
+    rows = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    save(
+        "ablation_quantum",
+        format_rows(rows, columns=["tau", "quantum", "sample_block", "rmse"]),
+    )
+    by_key = {(r["tau"], r["quantum"]): r["rmse"] for r in rows}
+    # at tau = 1 the variants coincide exactly
+    assert by_key[(1.0, "scaled")] == by_key[(1.0, "literal")]
+    # at small tau the literal pseudocode is strictly worse
+    assert by_key[(2**-6, "scaled")] < by_key[(2**-6, "literal")]

@@ -1,0 +1,35 @@
+"""Figure 1b bench — detection time vs frequency/threshold ratio.
+
+Regenerates the three curves (Window, Improved Interval, Interval) with the
+closed forms plus Monte-Carlo verification columns, and asserts the paper's
+qualitative readings.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import fig1b
+
+
+def test_fig1b_detection_curves(benchmark, save):
+    rows = benchmark.pedantic(
+        lambda: fig1b.run(simulate=True, runs=12, seed=1810),
+        rounds=1,
+        iterations=1,
+    )
+    save("fig1b", fig1b.format_table(rows))
+
+    for row in rows:
+        # window detection is optimal at every ratio (Section 3)
+        assert row["window"] <= row["improved_interval"] <= row["interval"]
+        # Monte-Carlo agrees with the closed forms
+        assert row["window_sim"] == pytest.approx(row["window"], abs=0.15)
+
+    # "when the frequency is twice the threshold, it takes a window
+    #  algorithm half a window whereas interval-based algorithms require
+    #  between 0.6-1.0 windows"
+    at2 = next(r for r in rows if abs(r["ratio"] - 2.0) < 1e-9)
+    assert at2["window"] == pytest.approx(0.5)
+    assert 0.6 <= at2["improved_interval"] <= 1.0
+    assert at2["interval"] == pytest.approx(1.0)

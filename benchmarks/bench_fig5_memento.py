@@ -1,0 +1,43 @@
+"""Figure 5 bench — Memento vs WCSS speed and accuracy across τ.
+
+Regenerates the full (trace × counters × τ) grid.  Assertions pin the
+paper's qualitative findings; absolute Mpps are Python-bound and therefore
+reported as ratios to the WCSS (τ = 1) baseline.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments import fig5
+
+
+def test_fig5_speed_and_accuracy_grid(benchmark, save):
+    rows = benchmark.pedantic(fig5.run, rounds=1, iterations=1)
+    save("fig5", fig5.format_table(rows))
+
+    smallest_tau = min(r["tau"] for r in rows)
+    for trace in {r["trace"] for r in rows}:
+        for counters in {r["counters"] for r in rows}:
+            grid = {
+                r["tau"]: r
+                for r in rows
+                if r["trace"] == trace and r["counters"] == counters
+            }
+            # sampling yields speedup over WCSS, growing as tau shrinks
+            assert grid[smallest_tau]["speedup_vs_wcss"] > 1.5, (trace, counters)
+            assert grid[smallest_tau]["mpps"] > grid[1.0]["mpps"]
+
+    # "the update speed ... is almost indifferent to changes in the number
+    #  of counters": at fixed tau, speed varies far less than across taus
+    for trace in {r["trace"] for r in rows}:
+        at_min = [
+            r["mpps"]
+            for r in rows
+            if r["trace"] == trace and r["tau"] == smallest_tau
+        ]
+        spread = max(at_min) / min(at_min)
+        speed_ratio = max(at_min) / np.mean(
+            [r["mpps"] for r in rows if r["trace"] == trace and r["tau"] == 1.0]
+        )
+        assert spread < speed_ratio, trace

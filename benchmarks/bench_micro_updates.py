@@ -1,0 +1,98 @@
+"""Micro-benchmarks of the core update paths (pytest-benchmark native).
+
+These complement the figure benches with classic ops/second measurements
+of each sketch's update path under a fixed workload, making per-commit
+performance regressions visible.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    MST,
+    RHHH,
+    ExactWindowCounter,
+    HMemento,
+    Memento,
+    SRC_HIERARCHY,
+    SpaceSaving,
+    generate_trace,
+)
+from repro.traffic.synth import BACKBONE
+
+WINDOW = 8192
+N = 20_000
+
+
+@pytest.fixture(scope="module")
+def stream():
+    return generate_trace(BACKBONE, N, seed=99).packets_1d()
+
+
+def _drive(algorithm, stream):
+    update = algorithm.update
+    for item in stream:
+        update(item)
+    return algorithm
+
+
+def test_space_saving_update(benchmark, stream):
+    result = benchmark(lambda: _drive(SpaceSaving(512), stream))
+    assert result.processed == N
+
+
+def test_exact_window_update(benchmark, stream):
+    result = benchmark(lambda: _drive(ExactWindowCounter(WINDOW), stream))
+    assert result.size == WINDOW
+
+
+@pytest.mark.parametrize("tau", [1.0, 2**-4, 2**-10])
+def test_memento_update(benchmark, stream, tau):
+    result = benchmark(
+        lambda: _drive(
+            Memento(window=WINDOW, counters=512, tau=tau, seed=1), stream
+        )
+    )
+    assert result.updates == N
+
+
+def test_hmemento_update(benchmark, stream):
+    result = benchmark(
+        lambda: _drive(
+            HMemento(
+                window=WINDOW,
+                hierarchy=SRC_HIERARCHY,
+                counters=512,
+                tau=0.25,
+                seed=1,
+            ),
+            stream,
+        )
+    )
+    assert result.updates == N
+
+
+def test_mst_update(benchmark, stream):
+    result = benchmark(lambda: _drive(MST(SRC_HIERARCHY, counters=128), stream))
+    assert result.packets == N
+
+
+def test_rhhh_update(benchmark, stream):
+    result = benchmark(
+        lambda: _drive(RHHH(SRC_HIERARCHY, counters=128, seed=1), stream)
+    )
+    assert result.packets == N
+
+
+def test_memento_query(benchmark, stream):
+    sketch = _drive(Memento(window=WINDOW, counters=512, tau=1.0, seed=1), stream)
+    keys = stream[:512]
+
+    def run_queries():
+        total = 0.0
+        for key in keys:
+            total += sketch.query(key)
+        return total
+
+    assert benchmark(run_queries) > 0

@@ -1,0 +1,31 @@
+"""Shared fixtures for the per-figure benchmark harness."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    """Directory where benches persist their paper-style tables."""
+    path = Path(__file__).parent / "results"
+    path.mkdir(exist_ok=True)
+    return path
+
+
+def save_table(results_dir: Path, name: str, table: str) -> None:
+    """Persist a rendered table and echo it for -s runs."""
+    (results_dir / f"{name}.txt").write_text(table + "\n")
+    print(f"\n[{name}]\n{table}")
+
+
+@pytest.fixture(scope="session")
+def save(results_dir):
+    """Callable fixture: ``save('fig5', table_str)``."""
+
+    def _save(name: str, table: str) -> None:
+        save_table(results_dir, name, table)
+
+    return _save

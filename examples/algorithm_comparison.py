@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""Algorithm bake-off — window vs interval HHH on a shifting workload.
+
+Demonstrates *why* the paper argues for sliding windows (Section 3): a new
+heavy subnet appears mid-measurement, and we watch how quickly each
+algorithm's estimate of that subnet converges:
+
+* H-Memento (window)  — tracks the last W packets, converges fastest;
+* Baseline (window)   — same window semantics, H× slower updates;
+* MST improved-interval — resets every W packets, estimate collapses at
+  each boundary;
+* RHHH (interval)     — fast updates, but interval semantics.
+
+Run:  python examples/algorithm_comparison.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import (
+    HMemento,
+    IntervalScheme,
+    MST,
+    RHHH,
+    SRC_HIERARCHY,
+    WindowBaseline,
+    ip_to_int,
+    prefix_str,
+)
+
+WINDOW = 10_000
+NEW_SUBNET = (ip_to_int("66.55.0.0"), 16)
+APPEAR_AT = 25_000
+SHARE = 0.2  # the new subnet's traffic share once it appears
+TOTAL = 60_000
+
+
+def build_algorithms():
+    h = SRC_HIERARCHY
+    return {
+        "h-memento": HMemento(window=WINDOW, hierarchy=h, counters=1280, tau=0.5, seed=3),
+        "baseline": WindowBaseline(h, window=WINDOW, counters=256),
+        "interval": IntervalScheme(
+            lambda: MST(h, counters=256), interval=WINDOW, mode="improved"
+        ),
+        "rhhh": RHHH(h, counters=256, seed=3),
+    }
+
+
+def main() -> None:
+    rng = np.random.default_rng(4)
+    algorithms = build_algorithms()
+    checkpoints = range(20_000, TOTAL + 1, 5_000)
+    base = NEW_SUBNET[0]
+
+    print(
+        f"new subnet {prefix_str(NEW_SUBNET)} appears at packet "
+        f"{APPEAR_AT} with a {SHARE:.0%} share; estimates per algorithm:"
+    )
+    header = f"{'packet':>8}  {'true':>7}" + "".join(
+        f"{name:>12}" for name in algorithms
+    )
+    print(header)
+
+    true_count = 0.0
+    recent = []  # sliding record of the subnet's presence
+    for t in range(1, TOTAL + 1):
+        is_new = t > APPEAR_AT and rng.random() < SHARE
+        if is_new:
+            pkt = base | int(rng.integers(0, 1 << 16))
+        else:
+            pkt = int(rng.integers(0, 2**32))
+        recent.append(is_new)
+        if len(recent) > WINDOW:
+            recent.pop(0)
+        for algorithm in algorithms.values():
+            algorithm.update(pkt)
+        if t in checkpoints:
+            true = sum(recent)
+            row = f"{t:>8}  {true:>7}"
+            for name, algorithm in algorithms.items():
+                est = algorithm.query_point(NEW_SUBNET)
+                row += f"{est:>12.0f}"
+            print(row)
+
+    print(
+        "\nreading: the window algorithms lock onto the subnet's true window"
+        "\nfrequency and stay there; the interval method collapses to ~0 at"
+        "\nevery measurement boundary; RHHH's interval average dilutes the"
+        "\nnew subnet until enough post-appearance traffic accumulates."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,114 @@
+#!/usr/bin/env python3
+"""DDoS mitigation — the paper's Section 6.3/6.4 system, end to end.
+
+Builds the full proof-of-concept pipeline:
+
+    HTTP flood (50 random /8 subnets, 70% of traffic)
+      → 10 HAProxy-like load balancers (measurement taps)
+      → Batch reports under a 1 byte/packet budget
+      → centralized D-H-Memento controller
+      → threshold detection → DENY rules pushed to every frontend
+
+and reports detection latency per flooding subnet plus how much attack
+traffic leaked before mitigation.
+
+Run:  python examples/ddos_mitigation.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    BACKBONE,
+    FloodSpec,
+    NetwideConfig,
+    NetwideSystem,
+    SRC_HIERARCHY,
+    generate_trace,
+    inject_flood,
+    prefix_str,
+)
+from repro.loadbalancer.acl import AclAction
+from repro.loadbalancer.backend import Backend, BackendPool
+from repro.loadbalancer.haproxy import LoadBalancer
+from repro.loadbalancer.mitigation import MitigationSystem
+
+POINTS = 10
+WINDOW = 30_000
+THETA = 0.007  # flag subnets above 0.7% of the window
+
+
+def main() -> None:
+    # --- traffic: a backbone-profile trace with an injected HTTP flood ---
+    base = generate_trace(BACKBONE, 60_000, seed=7).packets_1d()
+    flood = inject_flood(
+        base,
+        spec=FloodSpec(num_subnets=50, share=0.7, subnet_bits=8),
+        seed=8,
+        start_index=15_000,
+    )
+    print(
+        f"trace: {len(flood.src)} requests, flood starts at "
+        f"{flood.start_index}, {flood.attack_packets} attack requests "
+        f"from {len(flood.subnets)} subnets"
+    )
+
+    # --- measurement plane: Batch transport within 1 B/packet ---
+    system = NetwideSystem(
+        NetwideConfig(
+            points=POINTS,
+            method="batch",
+            budget=1.0,
+            window=WINDOW,
+            counters=8192,
+            hierarchy=SRC_HIERARCHY,
+            seed=9,
+        )
+    )
+    print(
+        f"transport: batch={system.batch_size} samples/report, "
+        f"tau={system.tau:.4f}"
+    )
+
+    # --- frontends + mitigation loop ---
+    balancers = [
+        LoadBalancer(
+            f"lb-{i}",
+            pool=BackendPool([Backend(j, capacity=5000) for j in range(4)]),
+        )
+        for i in range(POINTS)
+    ]
+    mitigation = MitigationSystem(
+        system,
+        balancers,
+        theta=THETA,
+        action=AclAction.DENY,
+        check_interval=1000,
+    )
+
+    report = mitigation.run(flood.src, flood.is_attack)
+
+    # --- results ---
+    detected_flood = sorted(
+        (when, prefix)
+        for prefix, when in report.detections.items()
+        if prefix in flood.subnet_set()
+    )
+    print(f"\ndetected {len(detected_flood)}/{len(flood.subnets)} flooding "
+          f"subnets; first detections:")
+    for when, prefix in detected_flood[:8]:
+        print(f"  {prefix_str(prefix):>8}  at request {when:>7}  "
+              f"(+{when - flood.start_index} after flood start)")
+
+    print(f"\nblocked requests:        {report.blocked_requests:>8}")
+    print(f"leaked attack requests:  {report.leaked_attack_requests:>8} "
+          f"({report.leak_fraction:.1%} of the attack)")
+    byte_cost = system.bytes_sent / max(1, report.total_requests)
+    print(f"control-plane bandwidth: {byte_cost:.3f} bytes/request "
+          f"(budget: 1.0)")
+
+    per_lb = sum(b.stats.denied for b in balancers)
+    print(f"ACL denials across the fleet: {per_lb}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,183 @@
+"""repro — a reproduction of *Memento: Making Sliding Windows Efficient for
+Heavy Hitters* (Ben Basat, Einziger, Keslassy, Orda, Vargaftik, Waisbard —
+CoNEXT 2018).
+
+The package implements the full Memento family plus every substrate the
+paper depends on:
+
+* single-device algorithms — :class:`Memento` (HH), :class:`HMemento`
+  (HHH), with :class:`WCSS`, :class:`SpaceSaving`, :class:`MST`,
+  :class:`WindowBaseline` and :class:`RHHH` as the paper's baselines;
+* prefix hierarchies — :data:`SRC_HIERARCHY` (1-D, H=5) and
+  :data:`SRC_DST_HIERARCHY` (2-D, H=25);
+* network-wide measurement — measurement points, Sample/Batch/Aggregation
+  transports, D-Memento / D-H-Memento controllers, and the Theorem 5.5
+  budget optimizer (:class:`BudgetModel`);
+* an HAProxy-like load-balancer fleet with subnet ACLs and the
+  threshold-based mitigation loop of Section 6.3;
+* synthetic traffic (trace profiles, HTTP generator, flood injection) and
+  the evaluation metrics used by the paper's figures.
+
+Quickstart::
+
+    from repro import Memento
+
+    sketch = Memento(window=100_000, counters=512, tau=1 / 16, seed=1)
+    for packet in stream:
+        sketch.update(packet)
+    heavy = sketch.heavy_hitters(theta=0.01)
+
+See ``examples/`` for end-to-end scenarios and ``benchmarks/`` for the
+per-figure reproduction harness.
+"""
+
+from .analysis.change_detection import ChangeEvent, HeavyChangeDetector
+from .analysis.detection import (
+    analytic_detection_time,
+    detection_curve,
+    simulate_detection_time,
+)
+from .analysis.error_model import (
+    hmemento_min_tau,
+    hmemento_sampling_error,
+    memento_min_tau,
+    memento_sampling_error,
+    z_quantile,
+)
+from .analysis.metrics import (
+    RunningRMSE,
+    SetQuality,
+    hhh_on_arrival_rmse,
+    on_arrival_rmse,
+    precision_recall,
+    throughput,
+)
+from .core.exact import ExactIntervalCounter, ExactWindowCounter, ExactWindowHHH
+from .core.h_memento import HMemento
+from .core.interval import IntervalScheme
+from .core.memento import WCSS, Memento
+from .core.merge import merge_entry_sets, merge_mst, merge_space_saving
+from .core.mst import MST, WindowBaseline
+from .core.rhhh import RHHH
+from .core.sampling import (
+    BernoulliSampler,
+    FixedSampler,
+    GeometricSampler,
+    TableSampler,
+    make_sampler,
+)
+from .core.space_saving import SpaceSaving
+from .core.volumetric import VolumetricMemento, VolumetricSpaceSaving
+from .hierarchy.domain import (
+    SRC_DST_HIERARCHY,
+    SRC_HIERARCHY,
+    Hierarchy,
+    Hierarchy1D,
+    Hierarchy2D,
+)
+from .hierarchy.hhh_output import compute_hhh
+from .hierarchy.prefix import (
+    int_to_ip,
+    ip_to_int,
+    make_prefix,
+    parse_prefix,
+    prefix_str,
+)
+from .netwide.budget import BudgetModel, figure4_series
+from .netwide.controller import AggregationController, SketchController
+from .netwide.measurement_point import AggregatingPoint, SamplingPoint
+from .netwide.simulation import NetwideConfig, NetwideSystem, run_error_experiment
+from .traffic.flood import FloodSpec, FloodTrace, inject_flood
+from .traffic.http import HttpRequest, HttpTrafficGenerator
+from .traffic.packet import Packet
+from .traffic.synth import (
+    BACKBONE,
+    DATACENTER,
+    EDGE,
+    PROFILES,
+    Trace,
+    TraceProfile,
+    generate_trace,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    # core algorithms
+    "Memento",
+    "WCSS",
+    "HMemento",
+    "SpaceSaving",
+    "MST",
+    "WindowBaseline",
+    "RHHH",
+    "IntervalScheme",
+    "merge_space_saving",
+    "merge_entry_sets",
+    "merge_mst",
+    "VolumetricMemento",
+    "VolumetricSpaceSaving",
+    "ChangeEvent",
+    "HeavyChangeDetector",
+    "ExactWindowCounter",
+    "ExactIntervalCounter",
+    "ExactWindowHHH",
+    # sampling
+    "BernoulliSampler",
+    "TableSampler",
+    "GeometricSampler",
+    "FixedSampler",
+    "make_sampler",
+    # hierarchies
+    "Hierarchy",
+    "Hierarchy1D",
+    "Hierarchy2D",
+    "SRC_HIERARCHY",
+    "SRC_DST_HIERARCHY",
+    "compute_hhh",
+    "ip_to_int",
+    "int_to_ip",
+    "make_prefix",
+    "parse_prefix",
+    "prefix_str",
+    # network-wide
+    "BudgetModel",
+    "figure4_series",
+    "SamplingPoint",
+    "AggregatingPoint",
+    "SketchController",
+    "AggregationController",
+    "NetwideConfig",
+    "NetwideSystem",
+    "run_error_experiment",
+    # traffic
+    "Packet",
+    "Trace",
+    "TraceProfile",
+    "generate_trace",
+    "BACKBONE",
+    "DATACENTER",
+    "EDGE",
+    "PROFILES",
+    "FloodSpec",
+    "FloodTrace",
+    "inject_flood",
+    "HttpRequest",
+    "HttpTrafficGenerator",
+    # analysis
+    "analytic_detection_time",
+    "simulate_detection_time",
+    "detection_curve",
+    "z_quantile",
+    "memento_min_tau",
+    "memento_sampling_error",
+    "hmemento_min_tau",
+    "hmemento_sampling_error",
+    "RunningRMSE",
+    "SetQuality",
+    "on_arrival_rmse",
+    "hhh_on_arrival_rmse",
+    "precision_recall",
+    "throughput",
+    "__version__",
+]

@@ -1,0 +1,46 @@
+"""Evaluation machinery: metrics, detection model, analytical bounds."""
+
+from .change_detection import ChangeEvent, HeavyChangeDetector
+from .detection import (
+    DetectionResult,
+    analytic_detection_time,
+    detection_curve,
+    simulate_detection_time,
+)
+from .error_model import (
+    hmemento_min_tau,
+    hmemento_sampling_error,
+    memento_min_tau,
+    memento_sampling_error,
+    total_epsilon,
+    z_quantile,
+)
+from .metrics import (
+    RunningRMSE,
+    SetQuality,
+    hhh_on_arrival_rmse,
+    on_arrival_rmse,
+    precision_recall,
+    throughput,
+)
+
+__all__ = [
+    "ChangeEvent",
+    "HeavyChangeDetector",
+    "DetectionResult",
+    "analytic_detection_time",
+    "detection_curve",
+    "simulate_detection_time",
+    "z_quantile",
+    "memento_min_tau",
+    "memento_sampling_error",
+    "hmemento_min_tau",
+    "hmemento_sampling_error",
+    "total_epsilon",
+    "RunningRMSE",
+    "SetQuality",
+    "on_arrival_rmse",
+    "hhh_on_arrival_rmse",
+    "precision_recall",
+    "throughput",
+]

@@ -1,0 +1,148 @@
+"""Heavy-hitter change detection over sliding windows.
+
+The paper's conclusion names this as the open problem: "a mechanism that
+would allow constant-time updates for detection of changes in the
+hierarchical heavy hitters set would be a promising direction for future
+work."  This module provides a practical take on that direction:
+
+:class:`HeavyChangeDetector` polls a window algorithm's heavy set at a
+fixed cadence (amortizing the expensive output computation, which neither
+RHHH nor H-Memento can serve per-packet) and emits *change events* —
+arrivals and departures — with hysteresis so flows hovering at the
+threshold do not flap.
+
+Hysteresis follows the classic two-threshold scheme: a key **enters** when
+its estimate exceeds ``theta``, and **leaves** only when it falls below
+``theta * exit_ratio`` (default 0.8), mirroring how operators configure
+alerting on top of HHH systems (Section 1's motivation: reacting quickly
+to changes in the heavy-hitter set).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Hashable, List, Optional, Set
+
+__all__ = ["ChangeEvent", "HeavyChangeDetector"]
+
+
+@dataclass(frozen=True)
+class ChangeEvent:
+    """One membership change in the heavy set."""
+
+    kind: str  # "enter" or "leave"
+    key: Hashable
+    at: int  # packet index of the poll that observed the change
+    estimate: float
+
+
+class HeavyChangeDetector:
+    """Detect arrivals/departures in a window algorithm's heavy set.
+
+    Parameters
+    ----------
+    algorithm:
+        Any object with ``update(packet)``; the heavy set is read through
+        ``snapshot`` (below).
+    theta:
+        Entry threshold as a fraction of the window.
+    window:
+        The window size (for converting ``theta`` to a count bar).
+    snapshot:
+        Callable returning ``{key: estimate}`` for current heavy
+        candidates.  Defaults to ``algorithm.heavy_hitters(theta)`` /
+        ``algorithm.heavy_prefixes(theta)`` (with a lowered theta so
+        hysteresis has data below the entry bar).
+    poll_every:
+        Packets between polls; the amortized per-packet cost of change
+        detection is ``O(poll cost / poll_every)``.
+    exit_ratio:
+        Hysteresis: keys leave only below ``theta * exit_ratio``.
+
+    Examples
+    --------
+    >>> from repro import Memento
+    >>> sketch = Memento(window=1000, counters=64, tau=1.0)
+    >>> detector = HeavyChangeDetector(sketch, theta=0.3, window=1000,
+    ...                                poll_every=100)
+    >>> events = []
+    >>> for i in range(1500):
+    ...     events += detector.update("hot" if i > 400 else i)
+    >>> any(e.kind == "enter" and e.key == "hot" for e in events)
+    True
+    """
+
+    def __init__(
+        self,
+        algorithm,
+        theta: float,
+        window: int,
+        snapshot: Optional[Callable[[], Dict[Hashable, float]]] = None,
+        poll_every: int = 1000,
+        exit_ratio: float = 0.8,
+    ) -> None:
+        if not 0.0 < theta < 1.0:
+            raise ValueError(f"theta must be in (0, 1), got {theta}")
+        if window <= 0:
+            raise ValueError(f"window must be positive, got {window}")
+        if poll_every <= 0:
+            raise ValueError(f"poll_every must be positive, got {poll_every}")
+        if not 0.0 < exit_ratio <= 1.0:
+            raise ValueError(f"exit_ratio must be in (0, 1], got {exit_ratio}")
+        self.algorithm = algorithm
+        self.theta = float(theta)
+        self.window = int(window)
+        self.poll_every = int(poll_every)
+        self.exit_ratio = float(exit_ratio)
+        self._snapshot = snapshot or self._default_snapshot
+        self._heavy: Set[Hashable] = set()
+        self._packets = 0
+        self.events: List[ChangeEvent] = []
+
+    def _default_snapshot(self) -> Dict[Hashable, float]:
+        # query at the *exit* threshold so hysteresis sees keys that have
+        # dipped below the entry bar but not yet departed
+        low_theta = self.theta * self.exit_ratio
+        if hasattr(self.algorithm, "heavy_prefixes"):
+            return self.algorithm.heavy_prefixes(low_theta)
+        return self.algorithm.heavy_hitters(low_theta)
+
+    # ------------------------------------------------------------------
+    def update(self, packet) -> List[ChangeEvent]:
+        """Feed one packet; returns the change events of this step (if a
+        poll fired), empty otherwise."""
+        self.algorithm.update(packet)
+        self._packets += 1
+        if self._packets % self.poll_every:
+            return []
+        return self.poll()
+
+    def poll(self) -> List[ChangeEvent]:
+        """Force a poll now; returns (and records) the change events."""
+        estimates = self._snapshot()
+        enter_bar = self.theta * self.window
+        exit_bar = enter_bar * self.exit_ratio
+        fresh: List[ChangeEvent] = []
+
+        for key, est in estimates.items():
+            if key not in self._heavy and est > enter_bar:
+                self._heavy.add(key)
+                fresh.append(ChangeEvent("enter", key, self._packets, est))
+        for key in list(self._heavy):
+            est = estimates.get(key, 0.0)
+            if est < exit_bar:
+                self._heavy.discard(key)
+                fresh.append(ChangeEvent("leave", key, self._packets, est))
+
+        self.events.extend(fresh)
+        return fresh
+
+    @property
+    def heavy_set(self) -> Set[Hashable]:
+        """The current (hysteresis-stabilized) heavy set."""
+        return set(self._heavy)
+
+    @property
+    def packets(self) -> int:
+        """Packets processed through the detector."""
+        return self._packets

@@ -1,0 +1,190 @@
+"""Evaluation metrics — the paper's On-Arrival RMSE and set-quality scores.
+
+The paper evaluates empirical error in the *On Arrival* model (Section 6):
+for each arriving packet the algorithm estimates the packet's own flow
+size, and the Root Mean Square Error is taken over all arrivals::
+
+    RMSE(Alg) = sqrt( (1/N) * sum_t (f̂(s_t) - f(s_t))² )
+
+This module implements that measurement against exact sliding-window ground
+truth, its HHH generalization (per prefix level — Figure 8's x-axis), plus
+precision/recall against exact heavy-hitter sets and a throughput helper
+used by the speed figures.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, Hashable, Iterable, Sequence
+
+from ..core.exact import ExactWindowCounter
+from ..hierarchy.domain import Hierarchy
+
+__all__ = [
+    "RunningRMSE",
+    "on_arrival_rmse",
+    "hhh_on_arrival_rmse",
+    "precision_recall",
+    "throughput",
+    "SetQuality",
+]
+
+
+class RunningRMSE:
+    """Streaming accumulator for the root mean square error."""
+
+    __slots__ = ("_sum_sq", "_count")
+
+    def __init__(self) -> None:
+        self._sum_sq = 0.0
+        self._count = 0
+
+    def add(self, true_value: float, estimate: float) -> None:
+        """Record one (truth, estimate) observation."""
+        diff = estimate - true_value
+        self._sum_sq += diff * diff
+        self._count += 1
+
+    @property
+    def count(self) -> int:
+        """Number of observations recorded."""
+        return self._count
+
+    @property
+    def rmse(self) -> float:
+        """The RMSE so far (0.0 before any observation)."""
+        if self._count == 0:
+            return 0.0
+        return math.sqrt(self._sum_sq / self._count)
+
+    @property
+    def mse(self) -> float:
+        """The mean squared error so far."""
+        if self._count == 0:
+            return 0.0
+        return self._sum_sq / self._count
+
+
+def on_arrival_rmse(
+    algorithm,
+    stream: Iterable[Hashable],
+    window: int,
+    stride: int = 1,
+    warmup: int = 0,
+    estimator: str = "query_point",
+) -> float:
+    """On-arrival RMSE of ``algorithm`` against an exact window counter.
+
+    ``algorithm`` must expose ``update(x)`` and the chosen ``estimator``
+    method (default ``query_point`` — the bias-removed midpoint, falling
+    back to ``query`` when absent).  The exact counter replays the same
+    stream with window size ``window``.  The paper queries on every packet;
+    ``stride > 1`` subsamples query points (the update path still sees
+    every packet), and ``warmup`` skips the first packets from the error
+    average (e.g. one full window).
+    """
+    truth = ExactWindowCounter(window)
+    acc = RunningRMSE()
+    estimate = getattr(algorithm, estimator, None) or algorithm.query
+    for t, item in enumerate(stream):
+        algorithm.update(item)
+        truth.update(item)
+        if t >= warmup and t % stride == 0:
+            acc.add(truth.query(item), estimate(item))
+    return acc.rmse
+
+
+def hhh_on_arrival_rmse(
+    algorithm,
+    stream: Iterable,
+    hierarchy: Hierarchy,
+    window: int,
+    stride: int = 1,
+    warmup: int = 0,
+    estimator: str = "query_point",
+) -> Dict[int, float]:
+    """Per-pattern on-arrival RMSE for an HHH algorithm (Figure 8).
+
+    For each query point the packet's ``H`` generalizations are estimated
+    and compared against exact per-pattern window counters.  Returns
+    ``{pattern_index: rmse}``; for the 1-D hierarchy pattern index equals
+    prefix depth (0 = fully specified ... 4 = ``*``), which is Figure 8's
+    x-axis.
+    """
+    truths = [
+        ExactWindowCounter(window) for _ in range(hierarchy.num_patterns)
+    ]
+    accs = [RunningRMSE() for _ in range(hierarchy.num_patterns)]
+    estimate = getattr(algorithm, estimator, None) or algorithm.query
+    for t, packet in enumerate(stream):
+        algorithm.update(packet)
+        prefixes = hierarchy.all_prefixes(packet)
+        for idx, prefix in enumerate(prefixes):
+            truths[idx].update(prefix)
+        if t >= warmup and t % stride == 0:
+            for idx, prefix in enumerate(prefixes):
+                accs[idx].add(truths[idx].query(prefix), estimate(prefix))
+    return {idx: acc.rmse for idx, acc in enumerate(accs)}
+
+
+@dataclass(frozen=True)
+class SetQuality:
+    """Precision/recall of an estimated heavy-hitter set."""
+
+    precision: float
+    recall: float
+    true_positives: int
+    false_positives: int
+    false_negatives: int
+
+    @property
+    def f1(self) -> float:
+        """Harmonic mean of precision and recall (0.0 when undefined)."""
+        if self.precision + self.recall == 0.0:
+            return 0.0
+        return (
+            2.0 * self.precision * self.recall / (self.precision + self.recall)
+        )
+
+
+def precision_recall(estimated: Iterable, truth: Iterable) -> SetQuality:
+    """Compare an estimated set against the ground-truth set."""
+    est = set(estimated)
+    ref = set(truth)
+    tp = len(est & ref)
+    fp = len(est - ref)
+    fn = len(ref - est)
+    precision = tp / (tp + fp) if tp + fp else 1.0
+    recall = tp / (tp + fn) if tp + fn else 1.0
+    return SetQuality(
+        precision=precision,
+        recall=recall,
+        true_positives=tp,
+        false_positives=fp,
+        false_negatives=fn,
+    )
+
+
+def throughput(
+    update: Callable[[Hashable], None],
+    stream: Sequence,
+    repeat: int = 1,
+) -> float:
+    """Measured update throughput in packets per second.
+
+    Runs ``update`` over ``stream`` ``repeat`` times under a monotonic
+    clock.  This is the measurement behind the speed panels of Figures 5-7;
+    per DESIGN.md the reproduction reports *relative* throughput between
+    algorithms, not absolute line rates.
+    """
+    if not stream:
+        raise ValueError("stream must be non-empty")
+    start = time.perf_counter()
+    for _ in range(repeat):
+        for item in stream:
+            update(item)
+    elapsed = time.perf_counter() - start
+    total = repeat * len(stream)
+    return total / elapsed if elapsed > 0 else float("inf")

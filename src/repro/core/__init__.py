@@ -1,0 +1,42 @@
+"""Single-device algorithms: Memento, H-Memento, and the paper's baselines."""
+
+from .exact import ExactIntervalCounter, ExactWindowCounter, ExactWindowHHH
+from .h_memento import HMemento
+from .interval import IntervalScheme
+from .memento import WCSS, Memento
+from .merge import merge_entry_sets, merge_mst, merge_space_saving
+from .mst import MST, WindowBaseline
+from .rhhh import RHHH
+from .sampling import (
+    BernoulliSampler,
+    FixedSampler,
+    GeometricSampler,
+    TableSampler,
+    make_sampler,
+)
+from .space_saving import SpaceSaving
+from .volumetric import VolumetricMemento, VolumetricSpaceSaving
+
+__all__ = [
+    "ExactIntervalCounter",
+    "ExactWindowCounter",
+    "ExactWindowHHH",
+    "HMemento",
+    "IntervalScheme",
+    "Memento",
+    "WCSS",
+    "MST",
+    "WindowBaseline",
+    "RHHH",
+    "BernoulliSampler",
+    "TableSampler",
+    "GeometricSampler",
+    "FixedSampler",
+    "make_sampler",
+    "SpaceSaving",
+    "merge_space_saving",
+    "merge_entry_sets",
+    "merge_mst",
+    "VolumetricMemento",
+    "VolumetricSpaceSaving",
+]

@@ -1,0 +1,370 @@
+"""Memento — sliding-window heavy hitters with sampled full updates.
+
+This module implements Algorithm 1 of the paper.  The key idea (Section 4.1)
+is to decouple the two costs of a sliding-window update:
+
+* a **Full update** inserts the arriving item into the measurement structure
+  *and* slides the window — expensive;
+* a **Window update** only slides the window (forgetting outdated data) —
+  cheap.
+
+Memento performs a Full update with probability ``tau`` and a Window update
+otherwise, then compensates at query time by scaling estimates by ``1/tau``.
+Unlike naive sub-sampling, the window always spans exactly ``W`` *stream*
+packets (most of which are simply missing from the structure), so the
+reference window never varies — avoiding the ±Θ(√(W(1−τ))/τ) error the paper
+attributes to uniform sampling.
+
+With ``tau = 1`` Memento performs a Full update for every packet and becomes
+WCSS (Ben Basat et al., INFOCOM 2016), which is exactly how the paper's own
+evaluation obtains its WCSS baseline; :class:`WCSS` is provided as that
+configuration.
+
+Structure (Algorithm 1):
+
+* the stream is split into frames of ``W`` packets, each divided into
+  ``k = ceil(4/epsilon)`` blocks;
+* a Space Saving instance ``y`` (k counters) counts within the current frame
+  and is flushed at frame boundaries;
+* each time an item's in-frame count crosses a multiple of the block size,
+  an *overflow* is appended to the newest of ``k + 1`` block queues, and the
+  overflow table ``B`` is incremented;
+* every update drains at most one item from the oldest block queue,
+  de-amortizing expiry so the worst-case update time is O(1).
+
+A query combines the overflow count with the in-frame remainder::
+
+    estimate(x) = (1/tau) * (blk * (B[x] + 2) + (y.query(x) mod blk))
+
+where ``blk = W/k`` and the ``+2`` blocks keep the error one-sided
+(an overestimate), matching MST for comparability (Section 4.1).
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from typing import Deque, Dict, Hashable, Iterator, Optional
+
+from .sampling import make_sampler
+from .space_saving import SpaceSaving
+
+__all__ = ["Memento", "WCSS"]
+
+
+class Memento:
+    """Sliding-window heavy-hitter sketch (Algorithm 1 of the paper).
+
+    Parameters
+    ----------
+    window:
+        The window size ``W`` in packets.  Internally rounded up to
+        ``effective_window = k * ceil(W / k)`` so blocks tile the frame
+        exactly; the constructor records both.
+    counters:
+        Number of Space Saving counters ``k`` (the paper's ``⌈4/ε⌉``).
+        Exactly one of ``counters`` / ``epsilon`` must be given.
+    epsilon:
+        Algorithm error ``ε_a``; translated to ``k = ceil(4 / epsilon)``.
+    tau:
+        Full-update probability.  ``tau = 1`` degenerates to WCSS.
+    sampler:
+        ``"table"`` (paper's random-number table, default), ``"geometric"``,
+        ``"bernoulli"``, or a ready object with ``should_sample()``.
+    seed:
+        Seed for the sampler (ignored when a sampler object is passed).
+
+    Examples
+    --------
+    >>> sketch = Memento(window=1000, counters=64, tau=1.0)
+    >>> for packet in [1, 2, 1, 3, 1]:
+    ...     sketch.update(packet)
+    >>> sketch.query(1) >= 3
+    True
+    """
+
+    def __init__(
+        self,
+        window: int,
+        counters: Optional[int] = None,
+        epsilon: Optional[float] = None,
+        tau: float = 1.0,
+        sampler: object = "table",
+        seed: Optional[int] = None,
+        scale_overflow_quantum: bool = True,
+    ) -> None:
+        if window <= 0:
+            raise ValueError(f"window must be positive, got {window}")
+        if (counters is None) == (epsilon is None):
+            raise ValueError("exactly one of counters / epsilon must be given")
+        if counters is None:
+            if not 0.0 < epsilon < 1.0:
+                raise ValueError(f"epsilon must be in (0, 1), got {epsilon}")
+            counters = math.ceil(4.0 / epsilon)
+        if counters <= 0:
+            raise ValueError(f"counters must be positive, got {counters}")
+        if not 0.0 < tau <= 1.0:
+            raise ValueError(f"tau must be in (0, 1], got {tau}")
+
+        self.window = int(window)
+        self.k = int(counters)
+        self.epsilon = 4.0 / self.k
+        self.tau = float(tau)
+        self._inv_tau = 1.0 / self.tau
+
+        # Blocks tile the frame exactly; the window is rounded up if needed.
+        self.block_size = max(1, math.ceil(self.window / self.k))
+        self.effective_window = self.block_size * self.k
+        # Overflow quantum in *sampled-count* units.  Algorithm 1 writes
+        # ``W/k`` for both the stream-tick block length and the overflow
+        # threshold, which coincide only at tau = 1: the sketch counts
+        # sampled packets, of which a block contains ~tau·W/k.  Scaling the
+        # quantum keeps one overflow worth ~W/k stream packets after the
+        # 1/tau correction for every tau, so the per-block error stays
+        # O(W/k) as Theorem 5.2 requires.  ``scale_overflow_quantum=False``
+        # keeps the pseudocode's literal (unscaled) threshold — provided
+        # for the ablation bench that quantifies this deviation.
+        if scale_overflow_quantum:
+            self.sample_block = max(1, round(self.block_size * self.tau))
+        else:
+            self.sample_block = self.block_size
+
+        if isinstance(sampler, str):
+            # salt the seed so the sampler's uniform stream never replays
+            # the stream that generated the input trace (a same-seed trace
+            # generator would otherwise correlate "sampled" with "popular")
+            sampler_seed = None if seed is None else seed + 0x3C6EF372
+            self._sampler = make_sampler(self.tau, method=sampler, seed=sampler_seed)
+        else:
+            self._sampler = sampler
+        self._should_sample = self._sampler.should_sample
+
+        self._y = SpaceSaving(self.k)
+        self._offsets: Dict[Hashable, int] = {}  # overflow table B
+        # k + 1 block queues; index 0 = oldest (being drained), -1 = newest
+        self._queues: Deque[Deque[Hashable]] = deque(
+            deque() for _ in range(self.k + 1)
+        )
+        self._drain: Deque[Hashable] = self._queues[0]
+        self._newest: Deque[Hashable] = self._queues[-1]
+        # packets remaining in the current block / blocks into the frame —
+        # countdown form of Algorithm 1's ``M mod W/k`` and ``M mod W``
+        self._countdown = self.block_size
+        self._blocks_into_frame = 0
+        self._updates = 0  # total stream packets seen (full + window)
+        self._full_updates = 0
+
+    # ------------------------------------------------------------------
+    # update path (Algorithm 1 lines 2-21)
+    # ------------------------------------------------------------------
+    def window_update(self) -> None:
+        """Slide the window by one packet without inserting anything."""
+        self._updates += 1
+        countdown = self._countdown - 1
+        if countdown == 0:
+            # new block: retire the oldest queue, open a fresh one
+            blocks = self._blocks_into_frame + 1
+            if blocks == self.k:
+                blocks = 0
+                self._y.flush()  # new frame
+            self._blocks_into_frame = blocks
+            queues = self._queues
+            queues.popleft()
+            fresh: Deque[Hashable] = deque()
+            queues.append(fresh)
+            self._newest = fresh
+            self._drain = queues[0]
+            countdown = self.block_size
+        self._countdown = countdown
+        drain = self._drain
+        if drain:
+            # de-amortized expiry: drain one overflow from the oldest block
+            old_id = drain.popleft()
+            offsets = self._offsets
+            remaining = offsets[old_id] - 1
+            if remaining:
+                offsets[old_id] = remaining
+            else:
+                del offsets[old_id]
+
+    def full_update(self, item: Hashable) -> None:
+        """Slide the window *and* insert ``item`` (Algorithm 1 lines 12-18)."""
+        self.window_update()
+        self._full_updates += 1
+        y = self._y
+        y.add(item)
+        if y.query(item) % self.sample_block == 0:  # overflow
+            self._newest.append(item)
+            offsets = self._offsets
+            offsets[item] = offsets.get(item, 0) + 1
+
+    def update(self, item: Hashable) -> None:
+        """Process one packet: Full update w.p. ``tau``, else Window update."""
+        if self._should_sample():
+            self.full_update(item)
+        else:
+            self.window_update()
+
+    def ingest_sample(self, item: Hashable) -> None:
+        """Feed an externally-sampled packet (network-wide controller path).
+
+        D-Memento's measurement points sample at rate ``tau`` before
+        reporting, so the controller applies a Full update without a second
+        coin flip; construct the sketch with the transport's ``tau`` so the
+        query-time ``1/tau`` scaling matches.
+        """
+        self.full_update(item)
+
+    def ingest_gap(self, count: int) -> None:
+        """Advance the window for ``count`` unsampled (unreported) packets.
+
+        Semantically identical to ``count`` Window updates, but batches the
+        stretches where no expiry work is pending (empty drain queue, no
+        block boundary) into O(1) counter arithmetic — the controller path
+        advances the window for every unreported packet, so this is its
+        hot loop.
+        """
+        if count < 0:
+            raise ValueError(f"count must be non-negative, got {count}")
+        while count > 0:
+            if self._drain:
+                self.window_update()
+                count -= 1
+                continue
+            remaining = self._countdown
+            if count < remaining:
+                self._countdown = remaining - count
+                self._updates += count
+                return
+            # consume the rest of this block; the final update performs the
+            # boundary bookkeeping (and drains from the rotated queue)
+            self._updates += remaining - 1
+            count -= remaining
+            self._countdown = 1
+            self.window_update()
+
+    # ------------------------------------------------------------------
+    # query path (Algorithm 1 lines 22-25)
+    # ------------------------------------------------------------------
+    def query_raw(self, item: Hashable) -> int:
+        """Unscaled window estimate of the number of *sampled* occurrences.
+
+        This is the paper's query before the ``1/tau`` scaling: an upper
+        bound (in the WCSS sense) that includes the conservative ``+2``
+        blocks.  Counts are in sampled units, so the block quantum is
+        :attr:`sample_block` (equal to ``block_size`` when ``tau = 1``).
+        """
+        blk = self.sample_block
+        overflows = self._offsets.get(item)
+        if overflows is not None:
+            return blk * (overflows + 2) + (self._y.query(item) % blk)
+        return 2 * blk + self._y.query(item)
+
+    def query(self, item: Hashable) -> float:
+        """Estimate of the window frequency ``f_x^W`` (conservative, scaled)."""
+        return self._inv_tau * self.query_raw(item)
+
+    def query_point(self, item: Hashable) -> float:
+        """Midpoint (bias-removed) estimate of the window frequency.
+
+        :meth:`query` keeps the paper's deliberate ``+2`` block shift, an
+        upper bound whose bias grows as ``2·sample_block/tau`` after
+        scaling.  Error metrics and threshold detection want the unbiased
+        centre of the estimate interval instead, so this subtracts the
+        shift before scaling (clamped at zero).
+        """
+        raw = self.query_raw(item) - 2 * self.sample_block
+        if raw < 0:
+            raw = 0
+        return self._inv_tau * raw
+
+    def query_lower_raw(self, item: Hashable) -> int:
+        """Unscaled guaranteed part: ``raw - 4 blocks``, clamped at 0.
+
+        ``query_raw`` overshoots the true sampled count by at most four
+        blocks (the +2 shift, the truncated remainder, and the Space Saving
+        in-frame error of one block); subtracting that yields a lower bound,
+        used by the HHH conditioned-frequency computation (``f̂−``).
+        """
+        return max(0, self.query_raw(item) - 4 * self.sample_block)
+
+    def query_lower(self, item: Hashable) -> float:
+        """Scaled lower bound companion of :meth:`query`."""
+        return self._inv_tau * self.query_lower_raw(item)
+
+    def heavy_hitters(self, theta: float) -> Dict[Hashable, float]:
+        """Window heavy hitters: flows whose estimate exceeds ``theta * W``.
+
+        Candidates are the flows with an overflow entry (every heavy hitter
+        must overflow within the window — Section 4.1) plus the flows
+        currently monitored in the in-frame Space Saving instance.
+        """
+        bar = theta * self.window
+        out: Dict[Hashable, float] = {}
+        for item in self._offsets:
+            est = self.query(item)
+            if est > bar:
+                out[item] = est
+        for item, _ in self._y.items():
+            if item not in out:
+                est = self.query(item)
+                if est > bar:
+                    out[item] = est
+        return out
+
+    def candidates(self) -> Iterator[Hashable]:
+        """All flows the sketch currently knows about (B ∪ y), deduplicated."""
+        seen = set(self._offsets)
+        yield from self._offsets
+        for item, _ in self._y.items():
+            if item not in seen:
+                yield item
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    @property
+    def updates(self) -> int:
+        """Stream packets processed (window + full updates)."""
+        return self._updates
+
+    @property
+    def full_updates(self) -> int:
+        """How many packets received a Full update (≈ ``tau * updates``)."""
+        return self._full_updates
+
+    @property
+    def frame_position(self) -> int:
+        """Current offset within the frame (Algorithm 1's ``M``)."""
+        return (
+            self._blocks_into_frame * self.block_size
+            + (self.block_size - self._countdown)
+        ) % self.effective_window
+
+    @property
+    def overflow_entries(self) -> int:
+        """Number of flows currently holding overflow records."""
+        return len(self._offsets)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return (
+            f"{type(self).__name__}(window={self.window}, k={self.k}, "
+            f"tau={self.tau}, effective_window={self.effective_window})"
+        )
+
+
+class WCSS(Memento):
+    """Window Compact Space Saving — Memento with ``tau = 1``.
+
+    The paper evaluates WCSS as "our Memento implementation without sampling
+    (τ = 1)" (Section 6); this class pins that configuration and keeps the
+    historical name available to downstream users.
+    """
+
+    def __init__(
+        self,
+        window: int,
+        counters: Optional[int] = None,
+        epsilon: Optional[float] = None,
+    ) -> None:
+        super().__init__(window, counters=counters, epsilon=epsilon, tau=1.0)

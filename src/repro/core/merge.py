@@ -1,0 +1,119 @@
+"""Sketch merging — the substrate behind the Aggregation baseline.
+
+Section 4.3 motivates the Aggregation communication method with the
+observation that "existing HH algorithms are often mergeable, i.e., the
+content of two HH instances can be efficiently merged", citing the
+mergeable-summaries line of work, and notes MST/RHHH inherit mergeability
+from their Space Saving building blocks.
+
+This module implements that substrate:
+
+* :func:`merge_space_saving` — the standard Space Saving merge: sum
+  per-key estimates and guaranteed counts across inputs, then keep the
+  top-``m`` keys by estimate.  The merged sketch preserves the combined
+  overestimation guarantee (error ≤ Σ nᵢ/m).
+* :func:`merge_entry_sets` — the same operation on raw ``entries()``
+  snapshots, which is what actually crosses the wire in aggregation
+  reports.
+* :func:`merge_mst` — lattice-wise merge of two MST instances (one Space
+  Saving merge per prefix pattern).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, List, Sequence, Tuple
+
+from ..hierarchy.domain import Hierarchy
+from .mst import MST
+from .space_saving import SpaceSaving
+
+__all__ = ["merge_space_saving", "merge_entry_sets", "merge_mst"]
+
+Entry = Tuple[Hashable, int, int]  # (key, estimate, guaranteed)
+
+
+def merge_entry_sets(
+    entry_sets: Sequence[Iterable[Entry]], counters: int
+) -> List[Entry]:
+    """Merge several ``(key, estimate, guaranteed)`` snapshots.
+
+    Estimates and guaranteed counts are summed per key; the heaviest
+    ``counters`` keys (by merged estimate) survive, exactly as a Space
+    Saving instance of that size would retain them.
+
+    >>> a = [("x", 5, 4), ("y", 2, 2)]
+    >>> b = [("x", 3, 3), ("z", 9, 7)]
+    >>> merge_entry_sets([a, b], counters=2)
+    [('z', 9, 7), ('x', 8, 7)]
+    """
+    if counters <= 0:
+        raise ValueError(f"counters must be positive, got {counters}")
+    estimates: Dict[Hashable, int] = {}
+    guaranteed: Dict[Hashable, int] = {}
+    for entries in entry_sets:
+        for key, est, low in entries:
+            estimates[key] = estimates.get(key, 0) + est
+            guaranteed[key] = guaranteed.get(key, 0) + low
+    ranked = sorted(estimates.items(), key=lambda kv: kv[1], reverse=True)
+    return [
+        (key, est, guaranteed[key]) for key, est in ranked[:counters]
+    ]
+
+
+def merge_space_saving(
+    sketches: Sequence[SpaceSaving], counters: int = 0
+) -> SpaceSaving:
+    """Merge Space Saving instances into a fresh one.
+
+    Parameters
+    ----------
+    sketches:
+        The input instances (unmodified).
+    counters:
+        Size of the merged sketch; defaults to the maximum input size.
+
+    The merged estimates upper-bound the true combined counts, and the
+    combined additive error is at most ``Σ nᵢ / m`` — the mergeable-
+    summaries guarantee the Aggregation method relies on.
+    """
+    if not sketches:
+        raise ValueError("need at least one sketch to merge")
+    m = counters or max(s.counters for s in sketches)
+    merged_entries = merge_entry_sets([s.entries() for s in sketches], m)
+    out = SpaceSaving(m)
+    # rebuild: weighted adds preserve the summed estimates exactly because
+    # the surviving key set fits within the counter budget
+    for key, est, low in merged_entries:
+        out.add(key, weight=est)
+        # restore the per-key error component lost by the weighted insert
+        bucket = out._index[key]
+        bucket.keys[key] = est - low
+    out._items = sum(s.processed for s in sketches)
+    return out
+
+
+def merge_mst(instances: Sequence[MST], counters: int = 0) -> MST:
+    """Merge MST lattices pattern-by-pattern.
+
+    All inputs must share the same hierarchy.  Each prefix pattern's Space
+    Saving instances are merged independently, as the paper notes MST
+    inherits mergeability from its building blocks.
+    """
+    if not instances:
+        raise ValueError("need at least one MST to merge")
+    hierarchy: Hierarchy = instances[0].hierarchy
+    for other in instances[1:]:
+        if other.hierarchy is not hierarchy and (
+            other.hierarchy.num_patterns != hierarchy.num_patterns
+        ):
+            raise ValueError("cannot merge MSTs over different hierarchies")
+    m = counters or max(inst.counters for inst in instances)
+    merged = MST(hierarchy, counters=m)
+    merged._instances = [
+        merge_space_saving(
+            [inst._instances[idx] for inst in instances], counters=m
+        )
+        for idx in range(hierarchy.num_patterns)
+    ]
+    merged._packets = sum(inst.packets for inst in instances)
+    return merged

@@ -1,0 +1,171 @@
+"""Packet samplers used by the Memento family and by RHHH.
+
+Section 6.2 of the paper attributes the speed crossover between H-Memento
+and RHHH to *how* sampling is implemented:
+
+* H-Memento draws from a precomputed **random number table**
+  (:class:`TableSampler`), paying one array lookup per packet;
+* RHHH draws a **geometric** skip count (:class:`GeometricSampler`), paying
+  one logarithm per *sampled* packet and nothing in between.
+
+Both are provided here, along with a plain :class:`BernoulliSampler`
+reference, behind a single ``should_sample()`` interface, so benches can
+reproduce Figure 7's crossover and tests can swap in deterministic samplers.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Optional
+
+import numpy as np
+
+__all__ = [
+    "BernoulliSampler",
+    "TableSampler",
+    "GeometricSampler",
+    "FixedSampler",
+    "make_sampler",
+]
+
+
+class BernoulliSampler:
+    """Draw an independent uniform per packet; sample when it is ≤ tau."""
+
+    __slots__ = ("tau", "_rng")
+
+    def __init__(self, tau: float, seed: Optional[int] = None) -> None:
+        _check_tau(tau)
+        self.tau = float(tau)
+        self._rng = np.random.default_rng(seed)
+
+    def should_sample(self) -> bool:
+        """True with probability ``tau``, independently per call."""
+        if self.tau >= 1.0:
+            return True
+        return self._rng.random() <= self.tau
+
+
+class TableSampler:
+    """The paper's random-number-table trick (Section 6.2).
+
+    A table of ``table_size`` i.i.d. Bernoulli(``tau``) bits is precomputed;
+    each packet consumes the next bit, wrapping around.  This makes the
+    per-packet cost a single array read regardless of ``tau``, which is why
+    H-Memento outruns RHHH at moderate sampling probabilities.
+
+    The table is re-randomized on wrap-around by re-rolling a fresh offset,
+    so long streams do not replay an identical bit pattern in phase with
+    periodic traffic.
+    """
+
+    __slots__ = ("tau", "table_size", "_table", "_pos", "_rng")
+
+    def __init__(
+        self,
+        tau: float,
+        seed: Optional[int] = None,
+        table_size: int = 1 << 16,
+    ) -> None:
+        _check_tau(tau)
+        if table_size <= 0:
+            raise ValueError(f"table_size must be positive, got {table_size}")
+        self.tau = float(tau)
+        self.table_size = int(table_size)
+        self._rng = np.random.default_rng(seed)
+        self._table = (self._rng.random(self.table_size) <= self.tau).tolist()
+        self._pos = 0
+
+    def should_sample(self) -> bool:
+        """Consume the next precomputed Bernoulli bit."""
+        if self.tau >= 1.0:
+            return True
+        pos = self._pos
+        bit = self._table[pos]
+        pos += 1
+        if pos == self.table_size:
+            pos = int(self._rng.integers(0, self.table_size))
+        self._pos = pos
+        return bit
+
+
+class GeometricSampler:
+    """Skip-counting sampler: draw how many packets to skip, then sample.
+
+    The inter-sample gap of i.i.d. Bernoulli(``tau``) trials is geometric;
+    drawing it directly via the inverse CDF,
+    ``skips = floor(log(U) / log(1 - tau))``,
+    costs one ``log`` per *sampled* packet.  This is the implementation RHHH
+    uses, and it wins once ``tau`` is small enough that table lookups per
+    packet dominate (the Figure 7 crossover).
+    """
+
+    __slots__ = ("tau", "_rng", "_remaining", "_log1m")
+
+    def __init__(self, tau: float, seed: Optional[int] = None) -> None:
+        _check_tau(tau)
+        self.tau = float(tau)
+        self._rng = np.random.default_rng(seed)
+        self._log1m = math.log1p(-self.tau) if self.tau < 1.0 else 0.0
+        self._remaining = self._draw() if self.tau < 1.0 else 0
+
+    def _draw(self) -> int:
+        u = self._rng.random()
+        # guard the measure-zero u == 0 case rather than crash on log(0)
+        if u <= 0.0:
+            u = 5e-324
+        return int(math.log(u) / self._log1m)
+
+    def should_sample(self) -> bool:
+        """True when the current skip run has been exhausted."""
+        if self.tau >= 1.0:
+            return True
+        if self._remaining == 0:
+            self._remaining = self._draw()
+            return True
+        self._remaining -= 1
+        return False
+
+
+class FixedSampler:
+    """Deterministic sampler for tests: replays a fixed decision sequence.
+
+    Once the provided decisions are exhausted it repeats the last one
+    (default ``True``), so ``FixedSampler([])`` means "always sample".
+    """
+
+    __slots__ = ("_decisions", "_pos", "_default", "tau")
+
+    def __init__(self, decisions: Iterable[bool] = (), default: bool = True) -> None:
+        self._decisions = list(decisions)
+        self._pos = 0
+        self._default = bool(default)
+        self.tau = 1.0 if self._default else 0.0
+
+    def should_sample(self) -> bool:
+        if self._pos < len(self._decisions):
+            bit = self._decisions[self._pos]
+            self._pos += 1
+            return bit
+        return self._default
+
+
+def make_sampler(tau: float, method: str = "table", seed: Optional[int] = None):
+    """Build a sampler by name: ``table``, ``geometric``, or ``bernoulli``."""
+    methods = {
+        "table": TableSampler,
+        "geometric": GeometricSampler,
+        "bernoulli": BernoulliSampler,
+    }
+    try:
+        cls = methods[method]
+    except KeyError:
+        raise ValueError(
+            f"unknown sampler {method!r}; expected one of {sorted(methods)}"
+        ) from None
+    return cls(tau, seed=seed)
+
+
+def _check_tau(tau: float) -> None:
+    if not 0.0 < tau <= 1.0:
+        raise ValueError(f"tau must be in (0, 1], got {tau}")

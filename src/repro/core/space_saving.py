@@ -1,0 +1,242 @@
+"""Space Saving (Metwally, Agrawal, El Abbadi — ICDT 2005).
+
+Space Saving is the counter-based heavy-hitter algorithm the whole paper is
+built on: Memento uses one instance to count within the current frame
+(Algorithm 1's ``y``), MST runs one instance per prefix pattern, and RHHH
+randomly updates one of its instances per packet.
+
+The implementation here is the classic *stream-summary* structure: a doubly
+linked list of value buckets, each holding the set of flows that currently
+share a count.  All hot-path operations — unit increment, eviction of the
+minimum, query — are worst-case O(1), matching the paper's speed assumptions
+(Section 2).
+
+Guarantees (with ``m = counters`` and ``n`` processed items):
+
+* every estimate overestimates: ``query(x) >= f(x)``;
+* the overestimation is bounded: ``query(x) <= f(x) + n/m``;
+* ``lower_bound(x) <= f(x)`` (via per-counter error tracking);
+* any flow with ``f(x) > n/m`` is monitored.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterator, List, Optional, Tuple
+
+__all__ = ["SpaceSaving"]
+
+
+class _Bucket:
+    """A value bucket: all monitored flows whose counter equals ``value``."""
+
+    __slots__ = ("value", "keys", "prev", "next")
+
+    def __init__(self, value: int) -> None:
+        self.value = value
+        self.keys: Dict[Hashable, int] = {}  # key -> error when acquired
+        self.prev: Optional["_Bucket"] = None
+        self.next: Optional["_Bucket"] = None
+
+
+class SpaceSaving:
+    """Space Saving with O(1) worst-case unit updates and error tracking.
+
+    Parameters
+    ----------
+    counters:
+        The number of monitored flows ``m``.  The additive error after ``n``
+        updates is at most ``n / m``.
+
+    Examples
+    --------
+    >>> ss = SpaceSaving(counters=2)
+    >>> for x in ["a", "a", "b", "c"]:
+    ...     ss.add(x)
+    >>> ss.query("a")
+    2
+    >>> ss.query("c")  # evicted "b" (value 1), so estimate is 2
+    2
+    >>> ss.lower_bound("c")  # but the guaranteed part is only 1
+    1
+    """
+
+    __slots__ = ("counters", "_index", "_head", "_size", "_items")
+
+    def __init__(self, counters: int) -> None:
+        if counters <= 0:
+            raise ValueError(f"counters must be positive, got {counters}")
+        self.counters = int(counters)
+        # key -> bucket currently holding it
+        self._index: Dict[Hashable, _Bucket] = {}
+        # bucket list head = minimum value bucket
+        self._head: Optional[_Bucket] = None
+        self._size = 0  # monitored flows
+        self._items = 0  # total updates since last flush
+
+    # ------------------------------------------------------------------
+    # internal bucket-list plumbing
+    # ------------------------------------------------------------------
+    def _detach_key(self, key: Hashable, bucket: _Bucket) -> int:
+        """Remove ``key`` from ``bucket``; unlink the bucket if emptied.
+
+        The bucket's own ``prev``/``next`` pointers are preserved so callers
+        can still use it as a positional anchor.  Returns the error value
+        stored with the key.
+        """
+        err = bucket.keys.pop(key)
+        if not bucket.keys:
+            prev_b, next_b = bucket.prev, bucket.next
+            if prev_b is not None:
+                prev_b.next = next_b
+            else:
+                self._head = next_b
+            if next_b is not None:
+                next_b.prev = prev_b
+        return err
+
+    def _insert(
+        self,
+        key: Hashable,
+        value: int,
+        error: int,
+        origin: Optional[_Bucket],
+    ) -> None:
+        """Place ``key`` at ``value``, scanning forward from ``origin``.
+
+        ``origin`` is the bucket the key (or the evicted victim) came from.
+        It may have just been unlinked, in which case its preserved
+        ``prev``/``next`` pointers still locate the insertion neighbourhood.
+        For unit increments the scan inspects at most one bucket; only
+        weighted adds (off the hot path) may scan further.
+        """
+        if origin is None:
+            after, node = None, self._head
+        elif origin.keys:  # origin still linked
+            after, node = origin, origin.next
+        else:  # origin unlinked; position between its old neighbours
+            after, node = origin.prev, origin.next
+        while node is not None and node.value < value:
+            after = node
+            node = node.next
+        if node is not None and node.value == value:
+            node.keys[key] = error
+            self._index[key] = node
+            return
+        bucket = _Bucket(value)
+        bucket.keys[key] = error
+        bucket.prev, bucket.next = after, node
+        if after is not None:
+            after.next = bucket
+        else:
+            self._head = bucket
+        if node is not None:
+            node.prev = bucket
+        self._index[key] = bucket
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+    def add(self, key: Hashable, weight: int = 1) -> None:
+        """Process one arrival of ``key``.
+
+        ``weight > 1`` performs ``weight`` logical arrivals at once (used by
+        the aggregation baseline when replaying merged reports); it keeps
+        the Space Saving invariants because the sketch is weight-mergeable.
+        """
+        if weight <= 0:
+            raise ValueError(f"weight must be positive, got {weight}")
+        self._items += weight
+        bucket = self._index.get(key)
+        if bucket is not None:
+            value = bucket.value + weight
+            err = self._detach_key(key, bucket)
+            self._insert(key, value, err, bucket)
+            return
+        if self._size < self.counters:
+            self._insert(key, weight, 0, None)
+            self._size += 1
+            return
+        # evict a minimum-value flow (head bucket) and take over its counter
+        head = self._head
+        assert head is not None, "full sketch must have a head bucket"
+        victim = next(iter(head.keys))
+        min_value = head.value
+        self._detach_key(victim, head)
+        del self._index[victim]
+        self._insert(key, min_value + weight, min_value, head)
+
+    def update(self, key: Hashable) -> None:
+        """Alias of :meth:`add` — the shared streaming-algorithm interface."""
+        self.add(key)
+
+    def query(self, key: Hashable) -> int:
+        """Upper-bound estimate of ``key``'s count since the last flush.
+
+        Monitored flows return their counter; unmonitored flows return the
+        minimum counter value (0 while free counters remain), as in
+        Section 2 of the paper.
+        """
+        bucket = self._index.get(key)
+        if bucket is not None:
+            return bucket.value
+        if self._size < self.counters or self._head is None:
+            return 0
+        return self._head.value
+
+    def lower_bound(self, key: Hashable) -> int:
+        """Guaranteed count: ``lower_bound(x) <= f(x) <= query(x)``."""
+        bucket = self._index.get(key)
+        if bucket is None:
+            return 0
+        return bucket.value - bucket.keys[key]
+
+    def contains(self, key: Hashable) -> bool:
+        """Whether ``key`` currently owns a counter."""
+        return key in self._index
+
+    def flush(self) -> None:
+        """Reset all counters (Algorithm 1 line 4 — a new frame begins)."""
+        self._index.clear()
+        self._head = None
+        self._size = 0
+        self._items = 0
+
+    def heavy_hitters(self, theta: float) -> Dict[Hashable, int]:
+        """Flows whose estimate exceeds ``theta`` times the processed count."""
+        bar = theta * self._items
+        return {k: b.value for k, b in self._index.items() if b.value > bar}
+
+    def items(self) -> Iterator[Tuple[Hashable, int]]:
+        """Iterate ``(key, estimate)`` over all monitored flows."""
+        for key, bucket in self._index.items():
+            yield key, bucket.value
+
+    def entries(self) -> List[Tuple[Hashable, int, int]]:
+        """Snapshot of ``(key, estimate, guaranteed)`` rows, for merging."""
+        return [
+            (key, bucket.value, bucket.value - bucket.keys[key])
+            for key, bucket in self._index.items()
+        ]
+
+    @property
+    def processed(self) -> int:
+        """Items processed since the last flush (``n`` in the error bound)."""
+        return self._items
+
+    @property
+    def monitored(self) -> int:
+        """Number of flows currently holding counters (≤ ``counters``)."""
+        return self._size
+
+    @property
+    def min_value(self) -> int:
+        """The minimum counter value (0 while counters remain free)."""
+        if self._size < self.counters or self._head is None:
+            return 0
+        return self._head.value
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._index

@@ -1,0 +1,31 @@
+"""Per-figure experiment drivers (shared by ``benchmarks/`` and the CLI).
+
+Modules map one-to-one to the paper's evaluation exhibits:
+
+========  ===========================================================
+fig1b     detection time of new heavy hitters (window vs intervals)
+fig4      Theorem 5.5 error bounds vs bandwidth budget (+ §5.2 example)
+fig5      Memento vs WCSS speed/accuracy across sampling probabilities
+fig6      H-Memento vs window Baseline speed (1-D and 2-D)
+fig7      H-Memento vs RHHH throughput crossover
+fig8      HHH estimation accuracy per prefix length
+fig9      network-wide accuracy under a 1 B/packet budget
+fig10     HTTP flood detection latency and missed requests
+========  ===========================================================
+
+Each module exposes ``run(...) -> list[dict]`` and ``format_table(rows)``.
+"""
+
+from . import common, fig1b, fig4, fig5, fig6, fig7, fig8, fig9, fig10
+
+__all__ = [
+    "common",
+    "fig1b",
+    "fig4",
+    "fig5",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig10",
+]

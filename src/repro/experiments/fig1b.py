@@ -1,0 +1,49 @@
+"""Figure 1b — detection time of a new heavy hitter vs its frequency.
+
+X-axis: the ratio between the new flow's normalized frequency and the
+threshold.  Y-axis: expected detection time in windows.  Series: the
+Window, Improved Interval, and Interval methods.  The paper's headline
+readings — window detection is optimal (``1/ratio``), up to ~40% faster
+than Interval near the threshold and still >5% faster at the end of the
+tested range — are all properties of these curves.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..analysis.detection import METHODS, detection_curve
+from .common import format_rows, scaled
+
+__all__ = ["run", "format_table", "DEFAULT_RATIOS"]
+
+DEFAULT_RATIOS = tuple(np.round(np.arange(1.1, 2.51, 0.1), 2))
+
+
+def run(
+    ratios=DEFAULT_RATIOS,
+    simulate: bool = True,
+    window: Optional[int] = None,
+    runs: int = 20,
+    seed: int = 1810,
+) -> List[Dict[str, float]]:
+    """Produce the Figure 1b series (analytic, plus Monte-Carlo check)."""
+    window = window if window is not None else scaled(2000)
+    return detection_curve(
+        ratios,
+        methods=METHODS,
+        simulate=simulate,
+        window=window,
+        runs=runs,
+        seed=seed,
+    )
+
+
+def format_table(rows: List[Dict[str, float]]) -> str:
+    """Paper-style rendering with the analytic columns first."""
+    columns = ["ratio", "window", "improved_interval", "interval"]
+    if rows and "window_sim" in rows[0]:
+        columns += ["window_sim", "improved_interval_sim", "interval_sim"]
+    return format_rows(rows, columns=columns)

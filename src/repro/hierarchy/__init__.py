@@ -1,0 +1,38 @@
+"""Prefix hierarchies and the shared HHH output computation."""
+
+from .domain import (
+    SRC_DST_HIERARCHY,
+    SRC_HIERARCHY,
+    Hierarchy,
+    Hierarchy1D,
+    Hierarchy2D,
+)
+from .hhh_output import calc_pred_1d, calc_pred_2d, compute_hhh, group_by_depth
+from .prefix import (
+    BYTE_LENGTHS,
+    MASKS,
+    int_to_ip,
+    ip_to_int,
+    make_prefix,
+    parse_prefix,
+    prefix_str,
+)
+
+__all__ = [
+    "Hierarchy",
+    "Hierarchy1D",
+    "Hierarchy2D",
+    "SRC_HIERARCHY",
+    "SRC_DST_HIERARCHY",
+    "calc_pred_1d",
+    "calc_pred_2d",
+    "compute_hhh",
+    "group_by_depth",
+    "BYTE_LENGTHS",
+    "MASKS",
+    "ip_to_int",
+    "int_to_ip",
+    "make_prefix",
+    "parse_prefix",
+    "prefix_str",
+]

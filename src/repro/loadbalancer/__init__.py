@@ -1,0 +1,21 @@
+"""HAProxy-like load balancers, subnet ACLs, and the mitigation loop."""
+
+from .acl import AccessControlList, AclAction, AclDecision, AclRule
+from .backend import Backend, BackendPool, DispatchPolicy, Response
+from .haproxy import LbStats, LoadBalancer
+from .mitigation import MitigationReport, MitigationSystem
+
+__all__ = [
+    "AccessControlList",
+    "AclAction",
+    "AclDecision",
+    "AclRule",
+    "Backend",
+    "BackendPool",
+    "DispatchPolicy",
+    "Response",
+    "LoadBalancer",
+    "LbStats",
+    "MitigationSystem",
+    "MitigationReport",
+]

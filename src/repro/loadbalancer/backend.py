@@ -1,0 +1,121 @@
+"""Backend servers and dispatch policies (the testbed's Apache instances).
+
+The paper's testbed runs Apache containers behind ten HAProxy frontends.
+For the reproduction the backends model what matters to the flood
+experiment: per-server load accounting (so an unmitigated flood visibly
+concentrates load) and the standard dispatch policies load balancers use.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List, Optional
+
+__all__ = ["Response", "Backend", "BackendPool", "DispatchPolicy"]
+
+
+class DispatchPolicy(enum.Enum):
+    """How a pool picks the backend for the next request."""
+
+    ROUND_ROBIN = "round-robin"
+    LEAST_CONNECTIONS = "least-connections"
+
+
+@dataclass(frozen=True)
+class Response:
+    """Outcome of a request after load-balancer processing."""
+
+    status: int
+    backend_id: Optional[int] = None
+    tarpitted: bool = False
+
+    @property
+    def ok(self) -> bool:
+        """True for 2xx responses."""
+        return 200 <= self.status < 300
+
+
+class Backend:
+    """One backend server with bounded concurrency.
+
+    ``capacity`` bounds in-flight requests; an overloaded backend answers
+    503, which is how a successful flood manifests in the simulation.
+    Requests complete after ``service_time`` ticks (driven by the pool's
+    clock).
+    """
+
+    def __init__(self, backend_id: int, capacity: int = 1000, service_time: int = 10) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        if service_time <= 0:
+            raise ValueError(f"service_time must be positive, got {service_time}")
+        self.backend_id = int(backend_id)
+        self.capacity = int(capacity)
+        self.service_time = int(service_time)
+        self.active = 0
+        self.served = 0
+        self.rejected = 0
+        self._completions: List[int] = []  # completion ticks (heapless; small)
+
+    def drain(self, now: int) -> None:
+        """Complete requests whose service time has elapsed."""
+        if not self._completions:
+            return
+        remaining = [t for t in self._completions if t > now]
+        finished = len(self._completions) - len(remaining)
+        if finished:
+            self.active -= finished
+            self._completions = remaining
+
+    def offer(self, now: int) -> Response:
+        """Admit one request if capacity allows."""
+        self.drain(now)
+        if self.active >= self.capacity:
+            self.rejected += 1
+            return Response(status=503, backend_id=self.backend_id)
+        self.active += 1
+        self.served += 1
+        self._completions.append(now + self.service_time)
+        return Response(status=200, backend_id=self.backend_id)
+
+    @property
+    def utilization(self) -> float:
+        """Fraction of capacity currently in use."""
+        return self.active / self.capacity
+
+
+class BackendPool:
+    """A set of backends plus a dispatch policy."""
+
+    def __init__(
+        self,
+        backends: List[Backend],
+        policy: DispatchPolicy = DispatchPolicy.ROUND_ROBIN,
+    ) -> None:
+        if not backends:
+            raise ValueError("pool needs at least one backend")
+        self.backends = list(backends)
+        self.policy = policy
+        self._next = 0
+
+    def dispatch(self, now: int) -> Response:
+        """Route one request according to the policy."""
+        if self.policy is DispatchPolicy.ROUND_ROBIN:
+            backend = self.backends[self._next]
+            self._next = (self._next + 1) % len(self.backends)
+        else:
+            for candidate in self.backends:
+                candidate.drain(now)
+            backend = min(self.backends, key=lambda srv: srv.active)
+        return backend.offer(now)
+
+    @property
+    def total_served(self) -> int:
+        """Requests served across all backends."""
+        return sum(b.served for b in self.backends)
+
+    @property
+    def total_rejected(self) -> int:
+        """Requests rejected (503) across all backends."""
+        return sum(b.rejected for b in self.backends)

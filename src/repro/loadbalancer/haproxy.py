@@ -1,0 +1,114 @@
+"""HAProxy-like load-balancer frontends with measurement taps.
+
+Each :class:`LoadBalancer` mirrors the role of one HAProxy instance in the
+paper's testbed (Section 6.3): it receives HTTP requests, evaluates the
+subnet ACL (deny / tarpit / rate-limit — the paper's extension), dispatches
+admitted requests to a backend pool, and feeds every arriving request into
+its *measurement tap* — the network-wide measurement point that reports to
+the centralized controller.
+
+The tap observes requests **before** mitigation: rate-limited attackers
+must remain visible to the measurement plane, otherwise the controller
+would immediately forget the very subnets it is limiting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Union
+
+from ..traffic.http import HttpRequest
+from .acl import AccessControlList, AclAction
+from .backend import BackendPool, Response
+
+__all__ = ["LoadBalancer", "LbStats"]
+
+#: HTTP status used for tarpitted connections (HAProxy answers 500 after
+#: holding the connection; we keep the hold as a flag on the response).
+_TARPIT_STATUS = 500
+_DENY_STATUS = 403
+
+
+@dataclass
+class LbStats:
+    """Per-frontend counters (mirrors ``haproxy -sf`` stats fields we use)."""
+
+    received: int = 0
+    allowed: int = 0
+    denied: int = 0
+    tarpitted: int = 0
+    rate_limited: int = 0
+
+    @property
+    def mitigated(self) -> int:
+        """Requests stopped by any ACL action."""
+        return self.denied + self.tarpitted + self.rate_limited
+
+
+class LoadBalancer:
+    """One frontend: ACL + backend pool + measurement tap.
+
+    Parameters
+    ----------
+    name:
+        Frontend identifier (e.g. ``"lb-3"``).
+    pool:
+        Backend pool for admitted requests.
+    acl:
+        The subnet ACL (shared or per-frontend; the mitigation controller
+        pushes rules into it).
+    tap:
+        Called with the request's measurement key (source address) for
+        every arriving request; typically ``measurement_point.observe``
+        composed with the controller delivery (see
+        :class:`repro.loadbalancer.mitigation.MitigationSystem`).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        pool: BackendPool,
+        acl: Optional[AccessControlList] = None,
+        tap: Optional[Callable[[int], None]] = None,
+    ) -> None:
+        self.name = name
+        self.pool = pool
+        self.acl = acl if acl is not None else AccessControlList()
+        self.tap = tap
+        self.stats = LbStats()
+        self._now = 0
+
+    def handle(self, request: Union[HttpRequest, int]) -> Response:
+        """Process one request end-to-end and return the response.
+
+        Accepts either a full :class:`~repro.traffic.http.HttpRequest` or a
+        bare source address (the flood benches drive frontends with raw
+        keys for speed).
+        """
+        self._now += 1
+        src = request.src if isinstance(request, HttpRequest) else int(request)
+        self.stats.received += 1
+
+        if self.tap is not None:
+            self.tap(src)
+
+        decision = self.acl.evaluate(src)
+        action = decision.action
+        if action is AclAction.DENY:
+            self.stats.denied += 1
+            return Response(status=_DENY_STATUS)
+        if action is AclAction.TARPIT:
+            self.stats.tarpitted += 1
+            return Response(status=_TARPIT_STATUS, tarpitted=True)
+        if action is AclAction.RATE_LIMIT:
+            # evaluate() already consumed a token and returned ALLOW when
+            # the request is admitted, so reaching here means "drop".
+            self.stats.rate_limited += 1
+            return Response(status=_DENY_STATUS)
+        self.stats.allowed += 1
+        return self.pool.dispatch(self._now)
+
+    @property
+    def now(self) -> int:
+        """Requests processed by this frontend so far."""
+        return self._now

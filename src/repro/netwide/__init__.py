@@ -1,0 +1,30 @@
+"""Network-wide measurement: points, transports, controllers, budgets."""
+
+from .budget import BudgetModel, figure4_series
+from .controller import AggregationController, SketchController
+from .measurement_point import AggregatingPoint, SamplingPoint
+from .messages import (
+    PAYLOAD_SRC,
+    PAYLOAD_SRC_DST,
+    TCP_HEADER_OVERHEAD,
+    AggregateReport,
+    BatchReport,
+)
+from .simulation import NetwideConfig, NetwideSystem, run_error_experiment
+
+__all__ = [
+    "BudgetModel",
+    "figure4_series",
+    "AggregationController",
+    "SketchController",
+    "AggregatingPoint",
+    "SamplingPoint",
+    "AggregateReport",
+    "BatchReport",
+    "TCP_HEADER_OVERHEAD",
+    "PAYLOAD_SRC",
+    "PAYLOAD_SRC_DST",
+    "NetwideConfig",
+    "NetwideSystem",
+    "run_error_experiment",
+]

@@ -1,0 +1,72 @@
+"""Report messages between measurement points and the controller.
+
+Section 5.2 models control traffic explicitly: every report is a standard
+packet with at least ``O`` bytes of protocol headers (64 for TCP) carrying
+``E`` bytes per reported sample (4 for a source IP, 8 for a source/
+destination pair).  The per-packet bandwidth budget ``B`` caps how many
+report bytes may be sent per *measured* packet.
+
+Three report kinds mirror the paper's three communication methods:
+
+* :class:`BatchReport` — ``b`` sampled packets plus the number of packets
+  the report covers (``Sample`` is the ``b = 1`` case);
+* :class:`AggregateReport` — a full snapshot delta of the point's counts
+  (the idealized Aggregation baseline).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, Tuple
+
+__all__ = [
+    "TCP_HEADER_OVERHEAD",
+    "PAYLOAD_SRC",
+    "PAYLOAD_SRC_DST",
+    "BatchReport",
+    "AggregateReport",
+]
+
+#: The paper's ``O`` — minimal header size of the transmission protocol.
+TCP_HEADER_OVERHEAD = 64
+#: The paper's ``E`` for a source-IP sample.
+PAYLOAD_SRC = 4
+#: The paper's ``E`` for a (source, destination) sample.
+PAYLOAD_SRC_DST = 8
+
+
+@dataclass(frozen=True)
+class BatchReport:
+    """A batch of sampled packets (the Sample method when ``len == 1``).
+
+    Attributes
+    ----------
+    point_id:
+        Which measurement point sent the report.
+    samples:
+        The sampled packet keys, in arrival order.
+    covered:
+        How many packets the point processed since its previous report —
+        the controller issues this many window movements in total.
+    size_bytes:
+        On-wire size: ``O + E * len(samples)``.
+    """
+
+    point_id: int
+    samples: Tuple[Hashable, ...]
+    covered: int
+    size_bytes: int
+
+
+@dataclass(frozen=True)
+class AggregateReport:
+    """A snapshot delta from an aggregating measurement point.
+
+    ``entries`` maps keys (flows, or prefixes when a hierarchy is
+    configured) to their exact counts since the point's previous report.
+    """
+
+    point_id: int
+    entries: Dict[Hashable, int]
+    covered: int
+    size_bytes: int

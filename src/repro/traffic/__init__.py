@@ -1,0 +1,37 @@
+"""Traffic substrate: synthetic traces, HTTP generation, flood injection."""
+
+from .flood import FloodSpec, FloodTrace, inject_flood
+from .http import HttpRequest, HttpTrafficGenerator
+from .packet import Packet, flow_key_1d, flow_key_2d
+from .synth import (
+    BACKBONE,
+    DATACENTER,
+    EDGE,
+    PROFILES,
+    Trace,
+    TraceProfile,
+    generate_trace,
+)
+from .trace_io import export_csv, import_csv, load_trace, save_trace
+
+__all__ = [
+    "FloodSpec",
+    "FloodTrace",
+    "inject_flood",
+    "HttpRequest",
+    "HttpTrafficGenerator",
+    "Packet",
+    "flow_key_1d",
+    "flow_key_2d",
+    "Trace",
+    "TraceProfile",
+    "generate_trace",
+    "BACKBONE",
+    "DATACENTER",
+    "EDGE",
+    "PROFILES",
+    "save_trace",
+    "load_trace",
+    "export_csv",
+    "import_csv",
+]

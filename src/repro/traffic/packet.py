@@ -1,0 +1,62 @@
+"""Packet and flow-key models.
+
+The algorithms operate on plain hashable keys for speed: 1-D experiments
+use the 32-bit source address (an ``int``), 2-D experiments use the
+``(src, dst)`` pair (a tuple).  :class:`Packet` is the richer record used
+by the load-balancer simulation and trace files, with cheap conversion to
+those hot-path keys.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from ..hierarchy.prefix import int_to_ip
+
+__all__ = ["Packet", "flow_key_1d", "flow_key_2d"]
+
+
+@dataclass(frozen=True)
+class Packet:
+    """A network packet as seen by a measurement point.
+
+    Attributes
+    ----------
+    src / dst:
+        32-bit addresses as integers.
+    size:
+        Payload size in bytes (used by byte-volume extensions; the paper's
+        experiments count packets, so it defaults to 1).
+    is_attack:
+        Ground-truth flood label attached by the trace generator (used only
+        for evaluation, never by the algorithms).
+    """
+
+    src: int
+    dst: int = 0
+    size: int = 1
+    is_attack: bool = False
+
+    @property
+    def key_1d(self) -> int:
+        """The 1-D flow key (source address)."""
+        return self.src
+
+    @property
+    def key_2d(self) -> Tuple[int, int]:
+        """The 2-D flow key (source, destination)."""
+        return (self.src, self.dst)
+
+    def __str__(self) -> str:
+        return f"{int_to_ip(self.src)} -> {int_to_ip(self.dst)}"
+
+
+def flow_key_1d(src: int, dst: int = 0) -> int:
+    """Hot-path 1-D key from raw address integers."""
+    return src
+
+
+def flow_key_2d(src: int, dst: int) -> Tuple[int, int]:
+    """Hot-path 2-D key from raw address integers."""
+    return (src, dst)

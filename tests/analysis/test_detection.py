@@ -1,0 +1,106 @@
+"""Figure 1b detection-time model: closed forms and simulation agreement."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import analytic_detection_time, detection_curve, simulate_detection_time
+
+
+class TestAnalyticFormulas:
+    def test_paper_reading_at_ratio_two(self):
+        """'when the frequency is twice the threshold, it takes a window
+        algorithm half a window ... interval-based require 0.6-1.0'."""
+        assert analytic_detection_time(2.0, "window") == pytest.approx(0.5)
+        improved = analytic_detection_time(2.0, "improved_interval")
+        plain = analytic_detection_time(2.0, "interval")
+        assert 0.6 <= improved <= 1.0
+        assert plain == pytest.approx(1.0)
+
+    def test_window_is_optimal_everywhere(self):
+        for ratio in (1.0, 1.3, 1.7, 2.0, 2.5, 5.0):
+            w = analytic_detection_time(ratio, "window")
+            assert w <= analytic_detection_time(ratio, "improved_interval")
+            assert w <= analytic_detection_time(ratio, "interval")
+            assert w == pytest.approx(1.0 / ratio)
+
+    def test_improved_beats_plain(self):
+        for ratio in (1.1, 1.5, 2.0, 2.5):
+            assert analytic_detection_time(
+                ratio, "improved_interval"
+            ) < analytic_detection_time(ratio, "interval")
+
+    def test_forty_percent_gain_near_threshold(self):
+        """'up to 40% faster detection compared to the Interval method'."""
+        ratio = 1.05
+        gain = 1 - analytic_detection_time(ratio, "window") / analytic_detection_time(
+            ratio, "interval"
+        )
+        assert gain > 0.3
+
+    def test_gain_persists_at_range_end(self):
+        """'at the end of the tested range, still over 5% quicker'."""
+        ratio = 2.5
+        gain = 1 - analytic_detection_time(ratio, "window") / analytic_detection_time(
+            ratio, "improved_interval"
+        )
+        assert gain > 0.05
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            analytic_detection_time(0.5, "window")
+        with pytest.raises(ValueError):
+            analytic_detection_time(2.0, "quantum")
+
+
+class TestSimulation:
+    @pytest.mark.parametrize("method", ["window", "improved_interval", "interval"])
+    def test_simulation_matches_analytics(self, method):
+        ratio = 2.0
+        result = simulate_detection_time(
+            ratio, method, window=1500, theta=0.02, runs=40, seed=7
+        )
+        expected = analytic_detection_time(ratio, method)
+        assert result.mean_windows == pytest.approx(expected, abs=0.12)
+
+    def test_result_fields(self):
+        result = simulate_detection_time(
+            1.5, "window", window=800, theta=0.02, runs=5, seed=1
+        )
+        assert result.method == "window"
+        assert result.ratio == 1.5
+        assert result.runs == 5
+        assert result.std_windows >= 0.0
+
+    def test_bernoulli_mode_runs(self):
+        result = simulate_detection_time(
+            2.0,
+            "window",
+            window=800,
+            theta=0.02,
+            runs=10,
+            seed=3,
+            deterministic=False,
+        )
+        assert 0.2 < result.mean_windows < 1.0
+
+    def test_rejects_unknown_method(self):
+        with pytest.raises(ValueError):
+            simulate_detection_time(2.0, "bogus")
+
+    def test_rejects_rho_above_one(self):
+        with pytest.raises(ValueError):
+            simulate_detection_time(60.0, "window", theta=0.02, runs=1, seed=1)
+
+
+class TestCurve:
+    def test_analytic_only(self):
+        rows = detection_curve([1.2, 2.0])
+        assert len(rows) == 2
+        assert set(rows[0]) == {"ratio", "window", "improved_interval", "interval"}
+
+    def test_with_simulation_columns(self):
+        rows = detection_curve(
+            [2.0], simulate=True, window=600, theta=0.02, runs=5, seed=2
+        )
+        assert "window_sim" in rows[0]

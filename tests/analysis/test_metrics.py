@@ -1,0 +1,140 @@
+"""Evaluation-metric tests: RMSE accumulators, set quality, throughput."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro import (
+    Memento,
+    RunningRMSE,
+    SRC_HIERARCHY,
+    WindowBaseline,
+    hhh_on_arrival_rmse,
+    on_arrival_rmse,
+    precision_recall,
+    throughput,
+)
+
+
+class TestRunningRMSE:
+    def test_empty_is_zero(self):
+        acc = RunningRMSE()
+        assert acc.rmse == 0.0
+        assert acc.mse == 0.0
+        assert acc.count == 0
+
+    def test_known_values(self):
+        acc = RunningRMSE()
+        acc.add(0.0, 3.0)
+        acc.add(0.0, 4.0)
+        assert acc.mse == pytest.approx((9 + 16) / 2)
+        assert acc.rmse == pytest.approx(math.sqrt(12.5))
+        assert acc.count == 2
+
+    def test_perfect_estimates(self):
+        acc = RunningRMSE()
+        for v in (1.0, 5.0, 7.0):
+            acc.add(v, v)
+        assert acc.rmse == 0.0
+
+
+class TestOnArrivalRMSE:
+    def test_exact_algorithm_zero_error(self):
+        """Measuring an exact window counter against itself gives 0."""
+
+        class Echo:
+            def __init__(self, window):
+                from repro import ExactWindowCounter
+
+                self._c = ExactWindowCounter(window)
+
+            def update(self, item):
+                self._c.update(item)
+
+            def query_point(self, item):
+                return self._c.query(item)
+
+            query = query_point
+
+        stream = [i % 7 for i in range(500)]
+        assert on_arrival_rmse(Echo(100), stream, window=100) == 0.0
+
+    def test_memento_error_reasonable(self):
+        stream = [i % 11 for i in range(3000)]
+        sketch = Memento(window=500, counters=50, tau=1.0)
+        rmse = on_arrival_rmse(sketch, stream, window=sketch.effective_window)
+        # block granularity bounds the midpoint error
+        assert rmse <= 2 * sketch.block_size
+
+    def test_stride_and_warmup(self):
+        stream = [i % 5 for i in range(1000)]
+        sketch = Memento(window=100, counters=20, tau=1.0)
+        rmse = on_arrival_rmse(
+            sketch, stream, window=sketch.effective_window, stride=10, warmup=200
+        )
+        assert rmse >= 0.0
+
+    def test_estimator_selection(self):
+        stream = [0] * 2000
+        upper = Memento(window=500, counters=50, tau=1.0)
+        rmse_upper = on_arrival_rmse(
+            upper, stream, window=upper.effective_window, estimator="query"
+        )
+        point = Memento(window=500, counters=50, tau=1.0)
+        rmse_point = on_arrival_rmse(
+            point, stream, window=point.effective_window, estimator="query_point"
+        )
+        assert rmse_point < rmse_upper  # the +2-block shift inflates error
+
+
+class TestHHHOnArrival:
+    def test_per_level_keys_and_zero_for_exact(self):
+        stream = [0x0A000000 | (i % 3) for i in range(800)]
+        wb = WindowBaseline(SRC_HIERARCHY, window=200, counters=100)
+        per_level = hhh_on_arrival_rmse(
+            wb, stream, SRC_HIERARCHY, window=wb.window, stride=5
+        )
+        assert set(per_level) == {0, 1, 2, 3, 4}
+        assert all(v >= 0 for v in per_level.values())
+
+
+class TestPrecisionRecall:
+    def test_perfect(self):
+        q = precision_recall({"a", "b"}, {"a", "b"})
+        assert q.precision == 1.0 and q.recall == 1.0 and q.f1 == 1.0
+
+    def test_mixed(self):
+        q = precision_recall({"a", "b", "c"}, {"a", "d"})
+        assert q.true_positives == 1
+        assert q.false_positives == 2
+        assert q.false_negatives == 1
+        assert q.precision == pytest.approx(1 / 3)
+        assert q.recall == pytest.approx(1 / 2)
+        assert 0 < q.f1 < 1
+
+    def test_empty_sets(self):
+        q = precision_recall(set(), set())
+        assert q.precision == 1.0 and q.recall == 1.0 and q.f1 == 1.0
+
+    def test_empty_estimate(self):
+        q = precision_recall(set(), {"a"})
+        assert q.recall == 0.0 and q.f1 == 0.0
+
+
+class TestThroughput:
+    def test_positive_rate(self):
+        sink = []
+        rate = throughput(sink.append, list(range(1000)))
+        assert rate > 0
+        assert len(sink) == 1000
+
+    def test_repeat(self):
+        sink = []
+        throughput(sink.append, [1, 2], repeat=3)
+        assert len(sink) == 6
+
+    def test_empty_stream_rejected(self):
+        with pytest.raises(ValueError):
+            throughput(print, [])

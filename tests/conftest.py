@@ -1,0 +1,38 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import BACKBONE, DATACENTER, SRC_DST_HIERARCHY, SRC_HIERARCHY, generate_trace
+
+
+@pytest.fixture
+def rng():
+    """A seeded numpy Generator for deterministic randomized tests."""
+    return np.random.default_rng(0xC0FFEE)
+
+
+@pytest.fixture(scope="session")
+def small_backbone():
+    """A small backbone-profile trace shared across tests (read-only)."""
+    return generate_trace(BACKBONE, 20_000, seed=7)
+
+
+@pytest.fixture(scope="session")
+def small_datacenter():
+    """A small datacenter-profile trace shared across tests (read-only)."""
+    return generate_trace(DATACENTER, 20_000, seed=7)
+
+
+@pytest.fixture
+def h1():
+    """The 1-D source hierarchy."""
+    return SRC_HIERARCHY
+
+
+@pytest.fixture
+def h2():
+    """The 2-D source/destination hierarchy."""
+    return SRC_DST_HIERARCHY

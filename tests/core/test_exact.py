@@ -1,0 +1,145 @@
+"""Exact reference counters — unit and property tests vs brute force."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import ExactIntervalCounter, ExactWindowCounter, ExactWindowHHH, SRC_HIERARCHY
+
+streams = st.lists(st.integers(min_value=0, max_value=20), min_size=0, max_size=300)
+windows = st.integers(min_value=1, max_value=50)
+
+
+class TestExactWindowCounter:
+    def test_rejects_bad_window(self):
+        with pytest.raises(ValueError):
+            ExactWindowCounter(0)
+
+    def test_basic_expiry(self):
+        c = ExactWindowCounter(window=3)
+        for pkt in "aabc":
+            c.update(pkt)
+        assert c.query("a") == 1  # the first 'a' expired
+        assert c.query("b") == 1
+        assert c.query("c") == 1
+        assert c.query("zzz") == 0
+
+    def test_window_of_one(self):
+        c = ExactWindowCounter(window=1)
+        c.update("a")
+        c.update("b")
+        assert c.query("a") == 0
+        assert c.query("b") == 1
+        assert c.distinct == 1
+
+    @given(stream=streams, window=windows)
+    @settings(max_examples=150, deadline=None)
+    def test_matches_brute_force(self, stream, window):
+        c = ExactWindowCounter(window)
+        for i, item in enumerate(stream):
+            c.update(item)
+            brute = Counter(stream[max(0, i + 1 - window) : i + 1])
+            assert c.query(item) == brute[item]
+        if stream:
+            brute = Counter(stream[-window:])
+            for item in set(stream):
+                assert c.query(item) == brute[item]
+            assert c.size == min(len(stream), window)
+            assert c.distinct == len(brute)
+
+    @given(stream=streams, window=windows)
+    @settings(max_examples=60, deadline=None)
+    def test_heavy_hitters_definition(self, stream, window):
+        """heavy_hitters returns exactly the flows above theta*W."""
+        c = ExactWindowCounter(window)
+        for item in stream:
+            c.update(item)
+        theta = 0.25
+        hh = c.heavy_hitters(theta)
+        brute = Counter(stream[-window:])
+        for item, count in brute.items():
+            assert (item in hh) == (count > theta * window)
+
+    def test_items_iteration(self):
+        c = ExactWindowCounter(5)
+        for pkt in "aabbc":
+            c.update(pkt)
+        assert dict(c.items()) == {"a": 2, "b": 2, "c": 1}
+        assert "a" in c and "z" not in c
+        assert len(c) == 3
+
+
+class TestExactIntervalCounter:
+    def test_rolls_at_boundary(self):
+        c = ExactIntervalCounter(interval=3)
+        for pkt in "aab":
+            c.update(pkt)
+        # interval just completed: running is empty, last holds the counts
+        assert c.query("a") == 0
+        assert c.query_last("a") == 2
+        assert c.completed_intervals == 1
+        assert c.position == 0
+
+    def test_running_counts(self):
+        c = ExactIntervalCounter(interval=10)
+        for pkt in "aab":
+            c.update(pkt)
+        assert c.query("a") == 2
+        assert c.query_last("a") == 0
+        assert c.position == 3
+
+    def test_heavy_hitters_both_views(self):
+        c = ExactIntervalCounter(interval=4)
+        for pkt in "aaab":  # completes one interval
+            c.update(pkt)
+        assert c.heavy_hitters_last(theta=0.5) == {"a": 3}
+        assert c.heavy_hitters(theta=0.5) == {}
+
+    @given(stream=streams, interval=st.integers(min_value=1, max_value=40))
+    @settings(max_examples=100, deadline=None)
+    def test_matches_brute_force(self, stream, interval):
+        c = ExactIntervalCounter(interval)
+        for item in stream:
+            c.update(item)
+        n = len(stream)
+        start = n - (n % interval)
+        running = Counter(stream[start:])
+        for item in set(stream):
+            assert c.query(item) == running[item]
+        if n >= interval:
+            last = Counter(stream[start - interval : start])
+            for item in set(stream):
+                assert c.query_last(item) == last[item]
+
+
+class TestExactWindowHHH:
+    def test_prefix_counts(self):
+        hhh = ExactWindowHHH(SRC_HIERARCHY, window=10)
+        packet = 0x0A141E28  # 10.20.30.40
+        for _ in range(4):
+            hhh.update(packet)
+        assert hhh.query((packet, 32)) == 4
+        assert hhh.query((0x0A000000, 8)) == 4
+        assert hhh.query((0, 0)) == 4
+        assert hhh.query((0x0B000000, 8)) == 0
+
+    def test_window_expiry_applies_per_pattern(self):
+        hhh = ExactWindowHHH(SRC_HIERARCHY, window=2)
+        hhh.update(0x01000000)
+        hhh.update(0x02000000)
+        hhh.update(0x03000000)
+        assert hhh.query((0x01000000, 32)) == 0
+        assert hhh.query((0, 0)) == 2
+
+    def test_heavy_prefixes_all_levels(self):
+        hhh = ExactWindowHHH(SRC_HIERARCHY, window=100)
+        for i in range(60):
+            hhh.update(0x0A000000 | i)  # spread over hosts in 10.0.0.*
+        heavy = hhh.heavy_prefixes(theta=0.5)
+        assert (0x0A000000, 8) in heavy
+        assert (0x0A000000, 24) in heavy
+        assert all(length != 32 for _, length in heavy)

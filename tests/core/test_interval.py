@@ -1,0 +1,79 @@
+"""IntervalScheme wrapper tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import IntervalScheme, Memento, SpaceSaving
+
+
+class TestConstruction:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            IntervalScheme(lambda: SpaceSaving(4), interval=0)
+        with pytest.raises(ValueError):
+            IntervalScheme(lambda: SpaceSaving(4), interval=10, mode="bogus")
+
+
+class TestRolling:
+    def test_improved_mode_answers_from_running(self):
+        scheme = IntervalScheme(lambda: SpaceSaving(8), interval=100)
+        for _ in range(5):
+            scheme.update("a")
+        assert scheme.query("a") == 5
+        assert scheme.query_last("a") == 0
+
+    def test_rolls_and_freezes(self):
+        scheme = IntervalScheme(lambda: SpaceSaving(8), interval=4)
+        for item in "aaab":
+            scheme.update(item)
+        assert scheme.completed_intervals == 1
+        assert scheme.position == 0
+        assert scheme.query("a") == 0  # fresh running instance
+        assert scheme.query_last("a") == 3
+
+    def test_plain_mode_uses_frozen(self):
+        scheme = IntervalScheme(lambda: SpaceSaving(8), interval=4, mode="plain")
+        for item in "aaab":
+            scheme.update(item)
+        scheme.update("c")
+        assert scheme.query("a") == 3  # from frozen interval
+        assert scheme.query_running("c") == 1
+
+    def test_plain_mode_empty_before_first_roll(self):
+        scheme = IntervalScheme(lambda: SpaceSaving(8), interval=100, mode="plain")
+        scheme.update("a")
+        assert scheme.query("a") == 0.0
+        assert scheme.query_point("a") == 0.0
+
+    def test_multiple_rolls(self):
+        scheme = IntervalScheme(lambda: SpaceSaving(8), interval=3)
+        for i in range(10):
+            scheme.update("x")
+        assert scheme.completed_intervals == 3
+        assert scheme.position == 1
+        assert scheme.query_last("x") == 3
+
+    def test_accessors(self):
+        scheme = IntervalScheme(lambda: SpaceSaving(4), interval=2)
+        assert scheme.frozen is None
+        scheme.update("a")
+        scheme.update("a")
+        assert scheme.frozen is not None
+        assert scheme.active is not scheme.frozen
+
+
+class TestQueryPointDelegation:
+    def test_delegates_to_wrapped_query_point(self):
+        scheme = IntervalScheme(
+            lambda: Memento(window=50, counters=4, tau=1.0), interval=1000
+        )
+        for _ in range(30):
+            scheme.update("x")
+        # Memento.query has the +2-block shift; query_point removes it
+        assert scheme.query_point("x") < scheme.query("x")
+
+    def test_falls_back_to_query(self):
+        scheme = IntervalScheme(lambda: SpaceSaving(4), interval=1000)
+        scheme.update("x")
+        assert scheme.query_point("x") == scheme.query("x") == 1.0

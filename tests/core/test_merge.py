@@ -1,0 +1,120 @@
+"""Sketch-merging substrate tests (the Aggregation method's foundation)."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import MST, SRC_HIERARCHY, SpaceSaving, merge_entry_sets, merge_mst, merge_space_saving
+
+streams = st.lists(st.integers(min_value=0, max_value=25), min_size=1, max_size=250)
+
+
+class TestMergeEntrySets:
+    def test_doc_example(self):
+        a = [("x", 5, 4), ("y", 2, 2)]
+        b = [("x", 3, 3), ("z", 9, 7)]
+        assert merge_entry_sets([a, b], counters=2) == [
+            ("z", 9, 7),
+            ("x", 8, 7),
+        ]
+
+    def test_keeps_top_by_estimate(self):
+        entries = [[("a", 1, 1), ("b", 5, 5), ("c", 3, 3)]]
+        merged = merge_entry_sets(entries, counters=2)
+        assert [key for key, _, _ in merged] == ["b", "c"]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            merge_entry_sets([], counters=0)
+
+
+class TestMergeSpaceSaving:
+    def test_requires_input(self):
+        with pytest.raises(ValueError):
+            merge_space_saving([])
+
+    def test_merged_counts_exact_when_capacity_suffices(self):
+        a = SpaceSaving(8)
+        b = SpaceSaving(8)
+        for item in "aab":
+            a.add(item)
+        for item in "abc":
+            b.add(item)
+        merged = merge_space_saving([a, b])
+        assert merged.query("a") == 3
+        assert merged.query("b") == 2
+        assert merged.query("c") == 1
+        assert merged.processed == 6
+
+    @given(s1=streams, s2=streams)
+    @settings(max_examples=80, deadline=None)
+    def test_merge_preserves_overestimation_guarantee(self, s1, s2):
+        """merged estimate >= true combined count, error <= (n1+n2)/m."""
+        m = 6
+        a, b = SpaceSaving(m), SpaceSaving(m)
+        for item in s1:
+            a.add(item)
+        for item in s2:
+            b.add(item)
+        merged = merge_space_saving([a, b], counters=m)
+        truth = Counter(s1) + Counter(s2)
+        n = len(s1) + len(s2)
+        for key, est in merged.items():
+            # the merged estimate never undercounts a retained key beyond
+            # the inputs' own bounds, and never exceeds truth + n/m
+            assert est <= truth[key] + n / m + 1e-9
+        # guaranteed part stays a lower bound
+        for key, est in merged.items():
+            assert merged.lower_bound(key) <= truth[key]
+
+    @given(s1=streams)
+    @settings(max_examples=40, deadline=None)
+    def test_merge_with_empty_is_identity_on_entries(self, s1):
+        a = SpaceSaving(8)
+        for item in s1:
+            a.add(item)
+        merged = merge_space_saving([a, SpaceSaving(8)])
+        assert sorted(merged.entries()) == sorted(a.entries())
+
+    def test_merged_sketch_remains_usable(self):
+        a = SpaceSaving(4)
+        for item in "aabbb":
+            a.add(item)
+        merged = merge_space_saving([a])
+        merged.add("c")
+        assert merged.query("c") >= 1
+        assert merged.processed == 6
+
+
+class TestMergeMST:
+    def test_merges_all_patterns(self):
+        a = MST(SRC_HIERARCHY, counters=8)
+        b = MST(SRC_HIERARCHY, counters=8)
+        pkt = 0x0A0B0C0D
+        a.update(pkt)
+        a.update(pkt)
+        b.update(pkt)
+        merged = merge_mst([a, b])
+        for prefix in SRC_HIERARCHY.all_prefixes(pkt):
+            assert merged.query(prefix) == 3
+        assert merged.packets == 3
+
+    def test_requires_input(self):
+        with pytest.raises(ValueError):
+            merge_mst([])
+
+    def test_merged_output_detects_combined_heavy_subnet(self):
+        a = MST(SRC_HIERARCHY, counters=16)
+        b = MST(SRC_HIERARCHY, counters=16)
+        base = 0x14000000
+        for i in range(60):
+            # spread hosts across distinct /16s so the /8 is the heavy level
+            (a if i % 2 else b).update(base | (i << 16) | i)
+        for i in range(40):
+            (a if i % 2 else b).update(0xC0000000 | (i << 12))
+        merged = merge_mst([a, b])
+        assert (base, 8) in merged.output(theta=0.3)

@@ -1,0 +1,139 @@
+"""MST (interval) and WindowBaseline (MST-over-WCSS) tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    MST,
+    SRC_DST_HIERARCHY,
+    SRC_HIERARCHY,
+    ExactWindowHHH,
+    WindowBaseline,
+    ip_to_int,
+)
+
+
+class TestMST:
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            MST(SRC_HIERARCHY)
+        with pytest.raises(ValueError):
+            MST(SRC_HIERARCHY, counters=8, epsilon=0.1)
+        with pytest.raises(ValueError):
+            MST(SRC_HIERARCHY, epsilon=1.5)
+
+    def test_epsilon_to_counters(self):
+        assert MST(SRC_HIERARCHY, epsilon=0.01).counters == 100
+
+    def test_updates_every_pattern(self):
+        mst = MST(SRC_HIERARCHY, counters=16)
+        pkt = ip_to_int("10.20.30.40")
+        mst.update(pkt)
+        for prefix in SRC_HIERARCHY.all_prefixes(pkt):
+            assert mst.query(prefix) == 1
+        assert mst.packets == 1
+
+    def test_estimates_overestimate(self):
+        mst = MST(SRC_HIERARCHY, counters=8)
+        rng = np.random.default_rng(1)
+        counts = {}
+        for _ in range(500):
+            pkt = int(rng.integers(0, 50)) << 24  # 50 distinct /8-aligned srcs
+            counts[pkt] = counts.get(pkt, 0) + 1
+            mst.update(pkt)
+        for pkt, count in counts.items():
+            assert mst.query((pkt, 32)) >= count
+            assert mst.query_lower((pkt, 32)) <= count
+
+    def test_output_contains_heavy_subnet(self):
+        mst = MST(SRC_HIERARCHY, counters=64)
+        rng = np.random.default_rng(2)
+        base = ip_to_int("20.0.0.0")
+        for _ in range(2000):
+            if rng.random() < 0.5:
+                mst.update(base | int(rng.integers(0, 1 << 24)))
+            else:
+                mst.update(int(rng.integers(0, 2**32)))
+        out = mst.output(theta=0.3)
+        assert (base, 8) in out
+
+    def test_reset_clears_state(self):
+        mst = MST(SRC_HIERARCHY, counters=8)
+        mst.update(ip_to_int("1.1.1.1"))
+        mst.reset()
+        assert mst.packets == 0
+        assert mst.query((ip_to_int("1.1.1.1"), 32)) == 0
+
+    def test_output_theta_validation(self):
+        mst = MST(SRC_HIERARCHY, counters=8)
+        with pytest.raises(ValueError):
+            mst.output(0.0)
+
+    def test_2d_update(self):
+        mst = MST(SRC_DST_HIERARCHY, counters=8)
+        mst.update((ip_to_int("1.2.3.4"), ip_to_int("5.6.7.8")))
+        assert mst.query((0, 0, 0, 0)) == 1
+        assert (
+            mst.query((ip_to_int("1.2.3.4"), 32, ip_to_int("5.0.0.0"), 8)) == 1
+        )
+
+
+class TestWindowBaseline:
+    def test_window_semantics(self):
+        """A burst expires from every pattern's window."""
+        wb = WindowBaseline(SRC_HIERARCHY, window=50, counters=8)
+        pkt = ip_to_int("9.9.9.9")
+        for _ in range(50):
+            wb.update(pkt)
+        inflated = wb.query((pkt, 32))
+        other = ip_to_int("77.1.1.1")
+        for _ in range(3 * wb.window):
+            wb.update(other)
+        assert wb.query((pkt, 32)) < inflated
+
+    def test_h_full_updates_per_packet(self):
+        wb = WindowBaseline(SRC_HIERARCHY, window=100, counters=8)
+        wb.update(ip_to_int("1.2.3.4"))
+        for instance in wb._instances:
+            assert instance.full_updates == 1
+
+    def test_query_bounds_ordering(self):
+        wb = WindowBaseline(SRC_HIERARCHY, window=100, counters=8)
+        rng = np.random.default_rng(4)
+        for _ in range(300):
+            wb.update(int(rng.integers(0, 40)) << 24)
+        for prefix in set(wb.candidates()):
+            assert wb.query_lower(prefix) <= wb.query(prefix)
+            assert wb.query_point(prefix) <= wb.query(prefix)
+
+    def test_estimates_track_exact_window(self):
+        window = 500
+        wb = WindowBaseline(SRC_HIERARCHY, window=window, counters=50)
+        truth = ExactWindowHHH(SRC_HIERARCHY, window=wb.window)
+        rng = np.random.default_rng(5)
+        base = ip_to_int("30.1.0.0")
+        for _ in range(1500):
+            pkt = (
+                base | int(rng.integers(0, 256))
+                if rng.random() < 0.4
+                else int(rng.integers(0, 2**32))
+            )
+            wb.update(pkt)
+            truth.update(pkt)
+        prefix = (base, 16)
+        true = truth.query(prefix)
+        assert wb.query(prefix) >= true
+        assert abs(wb.query_point(prefix) - true) <= 2 * wb._instances[0].block_size
+
+    def test_output_heavy_subnet(self):
+        wb = WindowBaseline(SRC_HIERARCHY, window=400, counters=40)
+        rng = np.random.default_rng(6)
+        base = ip_to_int("40.0.0.0")
+        for _ in range(1200):
+            if rng.random() < 0.5:
+                wb.update(base | int(rng.integers(0, 1 << 24)))
+            else:
+                wb.update(int(rng.integers(0, 2**32)))
+        assert (base, 8) in wb.output(theta=0.3)

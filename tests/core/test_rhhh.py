@@ -1,0 +1,117 @@
+"""RHHH (randomized interval HHH) tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import RHHH, SRC_DST_HIERARCHY, SRC_HIERARCHY, ip_to_int
+
+
+class TestConstruction:
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            RHHH(SRC_HIERARCHY)
+        with pytest.raises(ValueError):
+            RHHH(SRC_HIERARCHY, counters=8, epsilon=0.1)
+        with pytest.raises(ValueError):
+            RHHH(SRC_HIERARCHY, counters=8, sampling_ratio=2.0)  # < H
+        with pytest.raises(ValueError):
+            RHHH(SRC_HIERARCHY, counters=8, delta=0.0)
+
+    def test_default_ratio_is_h(self):
+        rh = RHHH(SRC_HIERARCHY, counters=8)
+        assert rh.sampling_ratio == SRC_HIERARCHY.num_patterns
+
+
+class TestUpdates:
+    def test_at_most_one_instance_update_per_packet(self):
+        rh = RHHH(SRC_HIERARCHY, counters=16, seed=1)
+        for i in range(1000):
+            rh.update(i)
+        total = sum(inst.processed for inst in rh._instances)
+        assert total == rh.sampled
+        assert rh.sampled <= rh.packets == 1000
+
+    def test_v_equals_h_updates_every_packet(self):
+        rh = RHHH(SRC_HIERARCHY, counters=16, seed=2)
+        for i in range(500):
+            rh.update(i)
+        assert rh.sampled == 500  # P(update) = H/V = 1
+
+    def test_larger_v_skips_packets(self):
+        rh = RHHH(SRC_HIERARCHY, counters=16, sampling_ratio=50.0, seed=3)
+        n = 20_000
+        for i in range(n):
+            rh.update(i)
+        expected = n * SRC_HIERARCHY.num_patterns / 50.0
+        assert abs(rh.sampled - expected) < 6 * np.sqrt(expected)
+
+    def test_reset(self):
+        rh = RHHH(SRC_HIERARCHY, counters=8, seed=4)
+        rh.update(ip_to_int("1.1.1.1"))
+        rh.reset()
+        assert rh.packets == 0
+        assert rh.sampled == 0
+        assert rh.query((ip_to_int("1.1.1.1"), 32)) == 0
+
+
+class TestEstimates:
+    def test_scaled_estimate_tracks_truth(self):
+        rh = RHHH(SRC_HIERARCHY, counters=64, seed=5)
+        rng = np.random.default_rng(5)
+        hot = ip_to_int("50.60.70.80")
+        n = 40_000
+        for _ in range(n):
+            rh.update(hot if rng.random() < 0.3 else int(rng.integers(0, 2**32)))
+        est = rh.query((hot, 32))
+        true = 0.3 * n
+        # estimate = X * V with X ~ Binomial(f, 1/V); allow 5 sigma + SS error
+        sigma = np.sqrt(true * rh.sampling_ratio)
+        assert abs(est - true) < 5 * sigma + n / 64
+
+    def test_bounds_ordering(self):
+        rh = RHHH(SRC_HIERARCHY, counters=16, seed=6)
+        for i in range(2000):
+            rh.update(int(i) << 16)
+        for prefix in set(rh.candidates()):
+            assert rh.query_lower(prefix) <= rh.query(prefix)
+            assert rh.query_point(prefix) == rh.query(prefix)
+
+    def test_sampling_correction_grows_with_stream(self):
+        rh = RHHH(SRC_HIERARCHY, counters=8, seed=7)
+        rh.update(1)
+        early = rh.sampling_correction()
+        for i in range(10_000):
+            rh.update(i)
+        assert rh.sampling_correction() > early
+
+
+class TestOutput:
+    def test_heavy_subnet_detected(self):
+        rh = RHHH(SRC_HIERARCHY, counters=64, seed=8)
+        rng = np.random.default_rng(8)
+        base = ip_to_int("60.0.0.0")
+        n = 30_000
+        for _ in range(n):
+            if rng.random() < 0.5:
+                rh.update(base | int(rng.integers(0, 1 << 24)))
+            else:
+                rh.update(int(rng.integers(0, 2**32)))
+        out = rh.output(theta=0.25)
+        assert (base, 8) in out
+
+    def test_conservative_superset(self):
+        rh = RHHH(SRC_HIERARCHY, counters=32, seed=9)
+        rng = np.random.default_rng(9)
+        for _ in range(5000):
+            rh.update(int(rng.integers(0, 2**32)))
+        assert rh.output(0.2, conservative=False) <= rh.output(0.2, conservative=True)
+
+    def test_2d_runs(self):
+        rh = RHHH(SRC_DST_HIERARCHY, counters=32, seed=10)
+        pair = (ip_to_int("1.2.3.4"), ip_to_int("5.6.7.8"))
+        for _ in range(5000):
+            rh.update(pair)
+        est = rh.query((pair[0], 32, pair[1], 32))
+        assert est > 1000

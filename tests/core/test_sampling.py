@@ -1,0 +1,107 @@
+"""Sampler behaviour: rates, determinism, and interface conformance."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    BernoulliSampler,
+    FixedSampler,
+    GeometricSampler,
+    TableSampler,
+    make_sampler,
+)
+
+ALL_SAMPLERS = [BernoulliSampler, TableSampler, GeometricSampler]
+
+
+@pytest.mark.parametrize("cls", ALL_SAMPLERS)
+class TestCommonBehaviour:
+    def test_tau_one_always_samples(self, cls):
+        sampler = cls(1.0, seed=1)
+        assert all(sampler.should_sample() for _ in range(500))
+
+    def test_rejects_invalid_tau(self, cls):
+        for bad in (0.0, -0.5, 1.5):
+            with pytest.raises(ValueError):
+                cls(bad)
+
+    def test_empirical_rate_close_to_tau(self, cls):
+        tau = 0.125
+        sampler = cls(tau, seed=42)
+        n = 40_000
+        hits = sum(sampler.should_sample() for _ in range(n))
+        rate = hits / n
+        # 6-sigma band for a Bernoulli(tau) sum
+        sigma = (tau * (1 - tau) / n) ** 0.5
+        assert abs(rate - tau) < 6 * sigma + 0.01
+
+    def test_seeded_reproducibility(self, cls):
+        a = cls(0.3, seed=9)
+        b = cls(0.3, seed=9)
+        assert [a.should_sample() for _ in range(200)] == [
+            b.should_sample() for _ in range(200)
+        ]
+
+
+class TestTableSampler:
+    def test_wraps_without_error(self):
+        sampler = TableSampler(0.5, seed=3, table_size=16)
+        decisions = [sampler.should_sample() for _ in range(200)]
+        assert any(decisions) and not all(decisions)
+
+    def test_rejects_bad_table_size(self):
+        with pytest.raises(ValueError):
+            TableSampler(0.5, table_size=0)
+
+
+class TestGeometricSampler:
+    def test_small_tau_long_gaps(self):
+        sampler = GeometricSampler(0.001, seed=5)
+        hits = sum(sampler.should_sample() for _ in range(20_000))
+        assert hits < 100  # expect ~20
+
+    def test_gap_distribution_mean(self):
+        tau = 0.05
+        sampler = GeometricSampler(tau, seed=11)
+        gaps = []
+        gap = 0
+        for _ in range(200_000):
+            if sampler.should_sample():
+                gaps.append(gap)
+                gap = 0
+            else:
+                gap += 1
+        mean_gap = np.mean(gaps)
+        # E[gap] = (1 - tau)/tau = 19
+        assert abs(mean_gap - (1 - tau) / tau) < 1.5
+
+
+class TestFixedSampler:
+    def test_replays_then_defaults(self):
+        sampler = FixedSampler([True, False, True], default=False)
+        assert [sampler.should_sample() for _ in range(5)] == [
+            True,
+            False,
+            True,
+            False,
+            False,
+        ]
+
+    def test_empty_defaults_true(self):
+        sampler = FixedSampler()
+        assert sampler.should_sample()
+
+
+class TestFactory:
+    @pytest.mark.parametrize(
+        "name,cls",
+        [("table", TableSampler), ("geometric", GeometricSampler), ("bernoulli", BernoulliSampler)],
+    )
+    def test_builds_by_name(self, name, cls):
+        assert isinstance(make_sampler(0.5, method=name, seed=1), cls)
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError, match="unknown sampler"):
+            make_sampler(0.5, method="magic")

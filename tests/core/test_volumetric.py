@@ -1,0 +1,107 @@
+"""Volumetric (byte-weighted) window heavy hitters."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import VolumetricMemento, VolumetricSpaceSaving
+
+
+class TestVolumetricSpaceSaving:
+    def test_add_bytes(self):
+        ss = VolumetricSpaceSaving(4)
+        ss.add_bytes("flow", 1500)
+        ss.add_bytes("flow", 64)
+        assert ss.query("flow") == 1564
+        assert ss.processed == 1564
+
+
+class TestConstruction:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            VolumetricMemento(window=0, counters=8)
+        with pytest.raises(ValueError):
+            VolumetricMemento(window=100)
+        with pytest.raises(ValueError):
+            VolumetricMemento(window=100, counters=8, epsilon=0.5)
+        with pytest.raises(ValueError):
+            VolumetricMemento(window=100, counters=8, max_weight=0)
+        with pytest.raises(ValueError):
+            VolumetricMemento(window=100, counters=8, tau=0.0)
+
+    def test_quantum_at_least_max_weight(self):
+        sketch = VolumetricMemento(window=100, counters=50, max_weight=1500)
+        assert sketch.byte_quantum >= 1500
+
+
+class TestVolumeTracking:
+    def test_constant_size_flow(self):
+        sketch = VolumetricMemento(window=1000, counters=64, max_weight=1500)
+        for _ in range(500):
+            sketch.update("flow", size=1000)
+        true_volume = 500 * 1000
+        assert sketch.query("flow") >= true_volume
+        assert abs(sketch.query_point("flow") - true_volume) <= 3 * sketch.byte_quantum
+
+    def test_mixed_sizes(self):
+        sketch = VolumetricMemento(window=2000, counters=100, max_weight=1500)
+        rng = np.random.default_rng(3)
+        true = 0
+        for _ in range(1500):
+            if rng.random() < 0.3:
+                size = int(rng.integers(64, 1501))
+                true += size
+                sketch.update("big", size=size)
+            else:
+                sketch.update(int(rng.integers(0, 500)), size=64)
+        est = sketch.query_point("big")
+        assert abs(est - true) <= 4 * sketch.byte_quantum
+
+    def test_volume_expires_with_window(self):
+        sketch = VolumetricMemento(window=200, counters=20, max_weight=1500)
+        for _ in range(200):
+            sketch.update("burst", size=1500)
+        high = sketch.query("burst")
+        for _ in range(3 * sketch.effective_window):
+            sketch.update("other", size=64)
+        assert sketch.query("burst") < high
+
+    def test_rejects_oversized_packet(self):
+        sketch = VolumetricMemento(window=100, counters=8, max_weight=1500)
+        with pytest.raises(ValueError):
+            sketch.full_update("x", size=1501)
+        with pytest.raises(ValueError):
+            sketch.full_update("x", size=0)
+
+    def test_sampled_volume_scaling(self):
+        sketch = VolumetricMemento(
+            window=8000, counters=200, max_weight=1500, tau=0.5, seed=5
+        )
+        rng = np.random.default_rng(5)
+        for _ in range(8000):
+            if rng.random() < 0.4:
+                sketch.update("hh", size=1000)
+            else:
+                sketch.update(int(rng.integers(0, 2000)), size=100)
+        true_volume = 0.4 * 8000 * 1000
+        est = sketch.query_point("hh")
+        assert abs(est - true_volume) < 0.4 * true_volume
+
+    def test_heavy_hitters_by_volume(self):
+        sketch = VolumetricMemento(window=1000, counters=64, max_weight=1500)
+        for i in range(1000):
+            if i % 4 == 0:
+                sketch.update("elephant", size=1500)
+            else:
+                sketch.update(f"mouse{i % 97}", size=64)
+        heavy = sketch.heavy_hitters(theta=0.2, mean_packet_size=423)
+        assert "elephant" in heavy
+
+    def test_counters_and_bytes_accounting(self):
+        sketch = VolumetricMemento(window=100, counters=8, max_weight=100)
+        sketch.update("a", size=50)
+        sketch.update("b", size=70)
+        assert sketch.bytes_seen == 120
+        assert sketch.updates == 2
+        assert sketch.full_updates == 2  # tau = 1

@@ -1,0 +1,56 @@
+"""Property-based invariants for the volumetric extension."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import VolumetricMemento
+
+packets = st.lists(
+    st.tuples(st.integers(0, 8), st.integers(1, 100)),  # (flow, size<=100)
+    min_size=1,
+    max_size=300,
+)
+
+
+@given(stream=packets)
+@settings(max_examples=80, deadline=None)
+def test_volume_estimates_one_sided_within_window(stream):
+    """With tau=1 and the stream shorter than the window, the estimate is a
+    conservative overestimate of the exact per-flow volume and within four
+    byte-quanta of it."""
+    sketch = VolumetricMemento(
+        window=1000, counters=200, max_weight=100, tau=1.0
+    )
+    truth = Counter()
+    for flow, size in stream:
+        sketch.update(flow, size=size)
+        truth[flow] += size
+    assert sketch.effective_window >= len(stream)
+    for flow, volume in truth.items():
+        est = sketch.query(flow)
+        assert est >= volume
+        assert est <= volume + 4 * sketch.byte_quantum
+
+
+@given(stream=packets)
+@settings(max_examples=60, deadline=None)
+def test_point_and_upper_ordering(stream):
+    sketch = VolumetricMemento(window=500, counters=50, max_weight=100, tau=1.0)
+    for flow, size in stream:
+        sketch.update(flow, size=size)
+    for flow in {f for f, _ in stream}:
+        assert 0 <= sketch.query_point(flow) <= sketch.query(flow)
+
+
+@given(stream=packets)
+@settings(max_examples=40, deadline=None)
+def test_bytes_seen_accounting(stream):
+    sketch = VolumetricMemento(window=500, counters=50, max_weight=100, tau=1.0)
+    for flow, size in stream:
+        sketch.update(flow, size=size)
+    assert sketch.bytes_seen == sum(size for _, size in stream)
+    assert sketch.updates == len(stream)

@@ -1,0 +1,37 @@
+"""CLI surface tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_figure(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_all_figures_registered(self):
+        parser = build_parser()
+        for name in ("fig1b", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10"):
+            args = parser.parse_args([name])
+            assert args.figure == name
+
+    def test_fig4_worked_flag(self):
+        args = build_parser().parse_args(["fig4", "--worked"])
+        assert args.worked
+
+
+class TestMain:
+    def test_fig4_worked_output(self, capsys):
+        assert main(["fig4", "--worked"]) == 0
+        out = capsys.readouterr().out
+        assert "B=1, W=1e6" in out
+        assert "total_error" in out
+
+    def test_fig1b_no_simulate(self, capsys):
+        assert main(["fig1b", "--no-simulate"]) == 0
+        out = capsys.readouterr().out
+        assert "improved_interval" in out
+        assert "window_sim" not in out

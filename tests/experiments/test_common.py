@@ -1,0 +1,59 @@
+"""Experiment-driver plumbing tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.common import format_rows, rate_mpps, scale, scaled
+
+
+class TestScale:
+    def test_default_without_env(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SCALE", raising=False)
+        assert scale() == 1.0
+        assert scaled(1000) == 1000
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "2.5")
+        assert scale() == 2.5
+        assert scaled(1000) == 2500
+
+    def test_floor(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "0.0001")
+        assert scale() == 0.01
+        assert scaled(10) >= 1
+
+    def test_rejects_garbage(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "lots")
+        with pytest.raises(ValueError, match="REPRO_SCALE"):
+            scale()
+
+
+class TestFormatRows:
+    def test_empty(self):
+        assert format_rows([]) == "(no data)"
+
+    def test_alignment_and_separator(self):
+        rows = [{"a": 1, "b": 2.34567}, {"a": 10, "b": 0.5}]
+        text = format_rows(rows)
+        lines = text.splitlines()
+        assert len(lines) == 4  # header, rule, two rows
+        assert set(lines[1]) <= {"-", " "}
+        assert "2.346" in text  # default 4 significant digits
+
+    def test_explicit_columns_and_missing_values(self):
+        rows = [{"x": 1}]
+        text = format_rows(rows, columns=["x", "y"])
+        assert "y" in text.splitlines()[0]
+
+    def test_custom_float_format(self):
+        text = format_rows([{"v": 1.23456}], floatfmt="{:.1f}")
+        assert "1.2" in text
+
+
+class TestRateMpps:
+    def test_basic(self):
+        assert rate_mpps(2_000_000, 2.0) == 1.0
+
+    def test_zero_elapsed(self):
+        assert rate_mpps(100, 0.0) == float("inf")

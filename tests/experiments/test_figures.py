@@ -1,0 +1,178 @@
+"""Smoke + shape tests for every per-figure experiment driver.
+
+Each driver is run at a deliberately tiny scale; the assertions check the
+structural properties the paper's figures rest on (orderings, headline
+relationships), not absolute values.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import fig1b, fig4, fig5, fig6, fig7, fig8, fig9, fig10
+
+
+class TestFig1b:
+    def test_rows_and_ordering(self):
+        rows = fig1b.run(ratios=(1.2, 2.0), simulate=False)
+        assert len(rows) == 2
+        for row in rows:
+            assert row["window"] <= row["improved_interval"] <= row["interval"]
+        assert "ratio" in fig1b.format_table(rows)
+
+    def test_simulated_columns_close(self):
+        rows = fig1b.run(ratios=(2.0,), simulate=True, window=800, runs=10)
+        row = rows[0]
+        assert row["window_sim"] == pytest.approx(row["window"], abs=0.15)
+
+
+class TestFig4:
+    def test_series_shape(self):
+        rows = fig4.run(budgets=(1.0, 5.0))
+        assert len(rows) == 2
+        assert rows[0]["batch_opt_total"] <= rows[0]["sample_total"]
+        assert "budget" in fig4.format_table(rows)
+
+    def test_worked_example_rows(self):
+        rows = fig4.worked_example()
+        assert [r["config"] for r in rows] == [
+            "B=1, W=1e6",
+            "B=5, W=1e6",
+            "B=1, W=1e7",
+        ]
+        assert 11_000 <= rows[0]["total_error"] <= 14_000
+        assert "config" in fig4.format_table(rows)
+
+
+class TestFig5:
+    def test_grid_and_speedup_direction(self):
+        rows = fig5.run(
+            traces=("datacenter",),
+            counters=(64,),
+            taus=(1.0, 2**-6),
+            window=4000,
+            length=10_000,
+            stride=16,
+        )
+        assert len(rows) == 2
+        by_tau = {row["tau"]: row for row in rows}
+        assert by_tau[1.0]["speedup_vs_wcss"] == pytest.approx(1.0)
+        # sampling must speed Memento up relative to WCSS
+        assert by_tau[2**-6]["speedup_vs_wcss"] > 1.0
+        assert "rmse" in fig5.format_table(rows)
+
+
+class TestFig6:
+    def test_hmemento_faster_than_baseline(self):
+        rows = fig6.run(
+            dimensions=(1,),
+            counters=(64,),
+            taus=(2**-4,),
+            window=4000,
+            length=8000,
+        )
+        hm = [r for r in rows if r["algorithm"] == "h-memento"]
+        assert hm and all(r["speedup"] > 1.0 for r in hm)
+
+    def test_2d_speedup_larger_than_1d(self):
+        rows = fig6.run(
+            dimensions=(1, 2),
+            counters=(64,),
+            taus=(2**-6,),
+            window=3000,
+            length=6000,
+        )
+        speedups = {
+            r["dims"]: r["speedup"] for r in rows if r["algorithm"] == "h-memento"
+        }
+        # the Baseline pays H full updates; H=25 hurts far more than H=5
+        assert speedups[2] > speedups[1]
+
+
+class TestFig7:
+    def test_rows_cover_both_algorithms(self):
+        rows = fig7.run(
+            dimensions=(1,), taus=(1.0, 2**-6), window=3000, length=8000
+        )
+        assert len(rows) == 2
+        for row in rows:
+            assert row["hmemento_mpps"] > 0
+            assert row["rhhh_mpps"] > 0
+
+    def test_both_algorithms_speed_up_with_sampling(self):
+        """The mechanism behind the Figure 7 crossover: both get faster as
+        tau shrinks, and RHHH's skip path gains the most (its skipped
+        packets cost a counter decrement vs H-Memento's window update)."""
+        rows = fig7.run(
+            dimensions=(1,), taus=(1.0, 2**-8), window=3000, length=40_000
+        )
+        by_tau = {r["tau"]: r for r in rows}
+        hi, lo = by_tau[max(by_tau)], by_tau[min(by_tau)]
+        assert lo["rhhh_mpps"] > hi["rhhh_mpps"]
+        assert lo["hmemento_mpps"] > hi["hmemento_mpps"]
+
+
+class TestFig8:
+    def test_ordering_interval_worst(self):
+        rows = fig8.run(
+            traces=("datacenter",), window=3000, counters=64, stride=12
+        )
+        by_algo = {row["algorithm"]: row for row in rows}
+        assert by_algo["interval"]["mean_rmse"] > by_algo["baseline"]["mean_rmse"]
+        # H-Memento trades a little accuracy for speed vs the Baseline
+        assert (
+            by_algo["baseline"]["mean_rmse"] <= by_algo["h-memento"]["mean_rmse"]
+        )
+        assert "len32" in fig8.format_table(rows)
+
+
+class TestFig9:
+    def test_batch_best_and_budget_respected(self):
+        """Batch must beat both alternatives even at tiny scale; the full
+        Batch < Sample < Aggregation ordering needs the default scale (the
+        bench asserts it) because Sample's variance dominates on very small
+        windows."""
+        rows = fig9.run(
+            traces=("datacenter",),
+            window=3000,
+            counters=256,
+            aggregate_entries=64,
+            stride=40,
+        )
+        by_method = {row["method"]: row for row in rows}
+        assert by_method["batch"]["rmse"] < by_method["sample"]["rmse"]
+        assert by_method["batch"]["rmse"] < by_method["aggregate"]["rmse"]
+        for row in rows:
+            assert row["bytes_per_packet"] <= 1.05
+        assert "rmse" in fig9.format_table(rows)
+
+
+class TestFig10:
+    def test_flood_orderings(self):
+        results = fig10.run_detailed(
+            window=12_000,
+            base_length=16_000,
+            theta=0.006,
+            counters=3000,
+            aggregate_entries=400,
+            check_every=200,
+        )
+        rows = fig10.summarize(results)
+        # the Figures 10a/10b series: non-decreasing counts, rendered table
+        for result in results:
+            counts = [c for _, c in result.timeline]
+            assert counts == sorted(counts)
+        timeline = fig10.format_timeline(results)
+        assert "opt" in timeline.splitlines()[0]
+        by_method = {row["method"]: row for row in rows}
+        assert set(by_method) == {"opt", "batch", "sample", "aggregate"}
+        # OPT detects earliest; aggregation misses the most attack packets
+        assert (
+            by_method["opt"]["missed_pkts"] <= by_method["batch"]["missed_pkts"]
+        )
+        assert (
+            by_method["aggregate"]["missed_pkts"]
+            > by_method["batch"]["missed_pkts"]
+        )
+        assert by_method["opt"]["detected"] == 50
+        assert "missed_pct" in fig10.format_table(rows)

@@ -1,0 +1,191 @@
+"""Hierarchy lattice laws for the 1-D and 2-D byte hierarchies."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import SRC_DST_HIERARCHY, SRC_HIERARCHY, ip_to_int
+
+ips = st.integers(min_value=0, max_value=0xFFFFFFFF)
+lengths = st.sampled_from([0, 8, 16, 24, 32])
+
+
+def prefix1(ip, length):
+    return (ip & SRC_HIERARCHY._masks[(32 - length) // 8], length)
+
+
+prefixes_1d = st.builds(prefix1, ips, lengths)
+prefixes_2d = st.builds(
+    lambda s, sl, d, dl: (
+        s & __import__("repro").hierarchy.prefix.MASKS[sl],
+        sl,
+        d & __import__("repro").hierarchy.prefix.MASKS[dl],
+        dl,
+    ),
+    ips,
+    lengths,
+    ips,
+    lengths,
+)
+
+
+class TestHierarchy1D:
+    def test_constants(self):
+        assert SRC_HIERARCHY.num_patterns == 5
+        assert SRC_HIERARCHY.max_depth == 4
+        assert SRC_HIERARCHY.dimensions == 1
+        assert list(SRC_HIERARCHY.levels()) == [0, 1, 2, 3, 4]
+
+    def test_all_prefixes_order_and_content(self):
+        pkt = ip_to_int("181.7.20.6")
+        rendered = [SRC_HIERARCHY.format(p) for p in SRC_HIERARCHY.all_prefixes(pkt)]
+        assert rendered == ["181.7.20.6", "181.7.20.*", "181.7.*", "181.*", "*"]
+
+    @given(ips, st.integers(min_value=0, max_value=4))
+    @settings(max_examples=100, deadline=None)
+    def test_prefix_at_matches_all_prefixes(self, pkt, idx):
+        assert SRC_HIERARCHY.prefix_at(pkt, idx) == SRC_HIERARCHY.all_prefixes(pkt)[idx]
+
+    @given(prefixes_1d)
+    @settings(max_examples=100, deadline=None)
+    def test_depth_pattern_consistency(self, prefix):
+        assert SRC_HIERARCHY.depth(prefix) == SRC_HIERARCHY.pattern_index(prefix)
+
+    @given(prefixes_1d)
+    @settings(max_examples=100, deadline=None)
+    def test_parents_are_one_level_up(self, prefix):
+        parents = SRC_HIERARCHY.parents(prefix)
+        if prefix[1] == 0:
+            assert parents == ()
+        else:
+            (parent,) = parents
+            assert SRC_HIERARCHY.depth(parent) == SRC_HIERARCHY.depth(prefix) + 1
+            assert SRC_HIERARCHY.generalizes(parent, prefix)
+
+    @given(prefixes_1d, prefixes_1d)
+    @settings(max_examples=150, deadline=None)
+    def test_glb_is_meet(self, p, q):
+        meet = SRC_HIERARCHY.glb(p, q)
+        if meet is not None:
+            assert SRC_HIERARCHY.generalizes(p, meet)
+            assert SRC_HIERARCHY.generalizes(q, meet)
+        else:
+            # disjoint: no packet generalized by both
+            assert not SRC_HIERARCHY.generalizes(p, q)
+            assert not SRC_HIERARCHY.generalizes(q, p)
+
+    def test_root(self):
+        assert SRC_HIERARCHY.root() == (0, 0)
+        assert SRC_HIERARCHY.depth(SRC_HIERARCHY.root()) == 4
+
+
+class TestHierarchy2D:
+    def test_constants(self):
+        assert SRC_DST_HIERARCHY.num_patterns == 25
+        assert SRC_DST_HIERARCHY.max_depth == 8  # 9 levels, 0..8
+        assert SRC_DST_HIERARCHY.dimensions == 2
+
+    def test_all_prefixes_count_and_uniqueness_of_patterns(self):
+        pkt = (ip_to_int("1.2.3.4"), ip_to_int("5.6.7.8"))
+        prefixes = SRC_DST_HIERARCHY.all_prefixes(pkt)
+        assert len(prefixes) == 25
+        patterns = {(p[1], p[3]) for p in prefixes}
+        assert len(patterns) == 25
+
+    def test_paper_two_parents_example(self):
+        """(181.7.20.6, 208.67.222.222) has exactly the two parents from §4.2."""
+        full = (ip_to_int("181.7.20.6"), 32, ip_to_int("208.67.222.222"), 32)
+        parents = set(SRC_DST_HIERARCHY.parents(full))
+        expected = {
+            (ip_to_int("181.7.20.0"), 24, ip_to_int("208.67.222.222"), 32),
+            (ip_to_int("181.7.20.6"), 32, ip_to_int("208.67.222.0"), 24),
+        }
+        assert parents == expected
+
+    @given(prefixes_2d)
+    @settings(max_examples=100, deadline=None)
+    def test_depth_sums_dimensions(self, prefix):
+        assert SRC_DST_HIERARCHY.depth(prefix) == (32 - prefix[1]) // 8 + (
+            32 - prefix[3]
+        ) // 8
+
+    @given(prefixes_2d, prefixes_2d)
+    @settings(max_examples=200, deadline=None)
+    def test_glb_definition(self, h1, h2):
+        """glb is the greatest common descendant (Definition 4.3)."""
+        meet = SRC_DST_HIERARCHY.glb(h1, h2)
+        if meet is None:
+            # incomparable in some dimension -> no common descendant
+            src_ok = (
+                SRC_DST_HIERARCHY.generalizes(
+                    (h1[0], h1[1], 0, 0), (h2[0], h2[1], 0, 0)
+                )
+                or SRC_DST_HIERARCHY.generalizes(
+                    (h2[0], h2[1], 0, 0), (h1[0], h1[1], 0, 0)
+                )
+            )
+            dst_ok = (
+                SRC_DST_HIERARCHY.generalizes(
+                    (0, 0, h1[2], h1[3]), (0, 0, h2[2], h2[3])
+                )
+                or SRC_DST_HIERARCHY.generalizes(
+                    (0, 0, h2[2], h2[3]), (0, 0, h1[2], h1[3])
+                )
+            )
+            assert not (src_ok and dst_ok)
+        else:
+            assert SRC_DST_HIERARCHY.generalizes(h1, meet)
+            assert SRC_DST_HIERARCHY.generalizes(h2, meet)
+
+    def test_glb_worked_example(self):
+        a = (ip_to_int("1.2.0.0"), 16, 0, 0)
+        b = (ip_to_int("1.0.0.0"), 8, ip_to_int("5.0.0.0"), 8)
+        meet = SRC_DST_HIERARCHY.glb(a, b)
+        assert meet == (ip_to_int("1.2.0.0"), 16, ip_to_int("5.0.0.0"), 8)
+
+    def test_glb_disjoint(self):
+        a = (ip_to_int("1.2.0.0"), 16, 0, 0)
+        b = (ip_to_int("9.9.0.0"), 16, 0, 0)
+        assert SRC_DST_HIERARCHY.glb(a, b) is None
+
+    @given(prefixes_2d)
+    @settings(max_examples=100, deadline=None)
+    def test_parents_generalize(self, prefix):
+        for parent in SRC_DST_HIERARCHY.parents(prefix):
+            assert SRC_DST_HIERARCHY.generalizes(parent, prefix)
+            assert SRC_DST_HIERARCHY.depth(parent) == SRC_DST_HIERARCHY.depth(prefix) + 1
+
+    def test_format(self):
+        pkt = (ip_to_int("181.7.20.6"), ip_to_int("208.67.222.222"))
+        idx = SRC_DST_HIERARCHY.pattern_index_of(24, 16)
+        assert (
+            SRC_DST_HIERARCHY.format(SRC_DST_HIERARCHY.prefix_at(pkt, idx))
+            == "(181.7.20.*, 208.67.*)"
+        )
+
+
+class TestBestGeneralized:
+    def test_paper_example(self):
+        """G(142.14.* | {142.14.13.*, 142.14.13.14}) = {142.14.13.*}."""
+        p = (ip_to_int("142.14.0.0"), 16)
+        selected = [
+            (ip_to_int("142.14.13.0"), 24),
+            (ip_to_int("142.14.13.14"), 32),
+        ]
+        assert SRC_HIERARCHY.best_generalized(p, selected) == [
+            (ip_to_int("142.14.13.0"), 24)
+        ]
+
+    def test_excludes_self_and_non_descendants(self):
+        p = (ip_to_int("10.0.0.0"), 8)
+        selected = [p, (ip_to_int("11.1.0.0"), 16), (ip_to_int("10.1.0.0"), 16)]
+        assert SRC_HIERARCHY.best_generalized(p, selected) == [
+            (ip_to_int("10.1.0.0"), 16)
+        ]
+
+    def test_incomparable_descendants_both_kept(self):
+        p = (0, 0)
+        selected = [(ip_to_int("10.0.0.0"), 8), (ip_to_int("20.0.0.0"), 8)]
+        assert sorted(SRC_HIERARCHY.best_generalized(p, selected)) == sorted(selected)

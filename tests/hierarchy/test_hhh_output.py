@@ -1,0 +1,169 @@
+"""The shared HHH output computation (Algorithms 2-4)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import SRC_DST_HIERARCHY, SRC_HIERARCHY, compute_hhh, ip_to_int
+from repro.hierarchy.hhh_output import calc_pred_1d, calc_pred_2d, group_by_depth
+
+
+def exact_estimators(counts):
+    """upper = lower = the exact count (deterministic test harness)."""
+    upper = lambda p: float(counts.get(p, 0))  # noqa: E731
+    return upper, upper
+
+
+class TestCalcPred1D:
+    def test_no_descendants_is_zero(self):
+        upper, lower = exact_estimators({})
+        assert calc_pred_1d(SRC_HIERARCHY, (0, 0), [], lower, upper) == 0.0
+
+    def test_subtracts_closest_descendants(self):
+        child = (ip_to_int("10.1.0.0"), 16)
+        grandchild = (ip_to_int("10.1.2.0"), 24)
+        counts = {child: 50.0, grandchild: 30.0}
+        upper, lower = exact_estimators(counts)
+        # only the closest descendant (child) is subtracted
+        result = calc_pred_1d(
+            SRC_HIERARCHY, (ip_to_int("10.0.0.0"), 8), [child, grandchild], lower, upper
+        )
+        assert result == -50.0
+
+
+class TestCalcPred2D:
+    def test_inclusion_exclusion_adds_back_glb(self):
+        """Two overlapping descendants: their glb mass is added back once."""
+        p = (0, 0, 0, 0)
+        h1 = (ip_to_int("1.0.0.0"), 8, 0, 0)
+        h2 = (0, 0, ip_to_int("2.0.0.0"), 8)
+        meet = (ip_to_int("1.0.0.0"), 8, ip_to_int("2.0.0.0"), 8)
+        counts = {h1: 100.0, h2: 80.0, meet: 25.0}
+        upper, lower = exact_estimators(counts)
+        result = calc_pred_2d(SRC_DST_HIERARCHY, p, [h1, h2], lower, upper)
+        assert result == -100.0 - 80.0 + 25.0
+
+    def test_disjoint_descendants_no_addback(self):
+        p = (0, 0, 0, 0)
+        h1 = (ip_to_int("1.0.0.0"), 8, 0, 0)
+        h2 = (ip_to_int("2.0.0.0"), 8, 0, 0)  # same dimension, disjoint
+        counts = {h1: 10.0, h2: 20.0}
+        upper, lower = exact_estimators(counts)
+        assert calc_pred_2d(SRC_DST_HIERARCHY, p, [h1, h2], lower, upper) == -30.0
+
+    def test_glb_covered_by_third_not_added(self):
+        """Algorithm 4 line 6: skip the glb when a third member covers it."""
+        p = (0, 0, 0, 0)
+        h1 = (ip_to_int("1.0.0.0"), 8, 0, 0)
+        h2 = (0, 0, ip_to_int("2.0.0.0"), 8)
+        h3 = (ip_to_int("1.0.0.0"), 8, ip_to_int("2.0.0.0"), 8)  # = glb(h1,h2)
+        counts = {h1: 100.0, h2: 80.0, h3: 25.0}
+        upper, lower = exact_estimators(counts)
+        # h3 is itself in G(p|P): glb(h1,h2)=h3 is generalized by h3, so no
+        # add-back for that pair; pairs (h1,h3) and (h2,h3) have glb h3
+        # covered by the other of {h1,h2}?  no — their glb is h3, covered by
+        # h3 itself being excluded (h3 is one of the pair).  Work it out:
+        # G = {h1, h2} only, because h3 is generalized by both h1 and h2.
+        best = SRC_DST_HIERARCHY.best_generalized(p, [h1, h2, h3])
+        assert sorted(best) == sorted([h1, h2])
+        result = calc_pred_2d(SRC_DST_HIERARCHY, p, [h1, h2, h3], lower, upper)
+        assert result == -100.0 - 80.0 + 25.0
+
+
+class TestGroupByDepth:
+    def test_grouping(self):
+        prefixes = [
+            (ip_to_int("1.2.3.4"), 32),
+            (ip_to_int("1.2.3.0"), 24),
+            (ip_to_int("9.9.9.9"), 32),
+        ]
+        levels = group_by_depth(SRC_HIERARCHY, prefixes)
+        assert len(levels[0]) == 2
+        assert levels[1] == [(ip_to_int("1.2.3.0"), 24)]
+
+
+class TestComputeHHH:
+    def test_exact_semantics_simple(self):
+        """With exact counts, the HHH set matches hand-computed conditioning."""
+        w = 100
+        # 60 packets in 10.1.0.0/16 (all to one host), 40 elsewhere spread
+        host = (ip_to_int("10.1.2.3"), 32)
+        net24 = (ip_to_int("10.1.2.0"), 24)
+        net16 = (ip_to_int("10.1.0.0"), 16)
+        net8 = (ip_to_int("10.0.0.0"), 8)
+        root = (0, 0)
+        counts = {host: 60.0, net24: 60.0, net16: 60.0, net8: 60.0, root: 100.0}
+        upper, lower = exact_estimators(counts)
+        result = compute_hhh(
+            SRC_HIERARCHY,
+            list(counts),
+            upper=upper,
+            lower=lower,
+            threshold_count=0.5 * w,
+        )
+        # host is heavy; all its ancestors' conditioned frequencies drop to
+        # 0 (or 40 for the root) once it is selected
+        assert host in result
+        assert net24 not in result
+        assert net16 not in result
+        assert net8 not in result
+        assert root not in result
+
+    def test_root_kept_when_residual_heavy(self):
+        host = (ip_to_int("10.1.2.3"), 32)
+        root = (0, 0)
+        counts = {host: 60.0, root: 180.0}
+        upper, lower = exact_estimators(counts)
+        result = compute_hhh(
+            SRC_HIERARCHY, [host, root], upper=upper, lower=lower, threshold_count=50.0
+        )
+        assert result == {host, root}  # residual 120 >= 50
+
+    def test_correction_expands_set(self):
+        host = (ip_to_int("10.1.2.3"), 32)
+        counts = {host: 40.0}
+        upper, lower = exact_estimators(counts)
+        without = compute_hhh(
+            SRC_HIERARCHY, [host], upper=upper, lower=lower, threshold_count=50.0
+        )
+        with_corr = compute_hhh(
+            SRC_HIERARCHY,
+            [host],
+            upper=upper,
+            lower=lower,
+            threshold_count=50.0,
+            correction=15.0,
+        )
+        assert without == set()
+        assert with_corr == {host}
+
+    def test_bottom_up_conditioning_prevents_double_count(self):
+        """A parent whose mass is fully explained by children is excluded."""
+        c1 = (ip_to_int("10.1.0.0"), 16)
+        c2 = (ip_to_int("10.2.0.0"), 16)
+        parent = (ip_to_int("10.0.0.0"), 8)
+        counts = {c1: 55.0, c2: 55.0, parent: 110.0}
+        upper, lower = exact_estimators(counts)
+        result = compute_hhh(
+            SRC_HIERARCHY,
+            [c1, c2, parent],
+            upper=upper,
+            lower=lower,
+            threshold_count=50.0,
+        )
+        assert result == {c1, c2}
+
+    def test_2d_lattice_end_to_end(self):
+        full = (ip_to_int("1.1.1.1"), 32, ip_to_int("2.2.2.2"), 32)
+        counts = {p: 80.0 for p in SRC_DST_HIERARCHY.all_prefixes((ip_to_int("1.1.1.1"), ip_to_int("2.2.2.2")))}
+        upper, lower = exact_estimators(counts)
+        result = compute_hhh(
+            SRC_DST_HIERARCHY,
+            list(counts),
+            upper=upper,
+            lower=lower,
+            threshold_count=50.0,
+        )
+        assert full in result
+        # everything above the fully-specified pair is conditioned away
+        assert result == {full}

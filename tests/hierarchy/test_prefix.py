@@ -1,0 +1,133 @@
+"""Prefix primitives — parsing, formatting, generalization."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hierarchy.prefix import (
+    BYTE_LENGTHS,
+    MASKS,
+    generalizes_1d,
+    int_to_ip,
+    ip_to_int,
+    make_prefix,
+    parent_1d,
+    parse_prefix,
+    prefix_str,
+    subnet_of,
+)
+
+ips = st.integers(min_value=0, max_value=0xFFFFFFFF)
+lengths = st.sampled_from(BYTE_LENGTHS)
+
+
+class TestIpConversion:
+    def test_roundtrip_known(self):
+        assert ip_to_int("181.7.20.6") == 0xB5071406
+        assert int_to_ip(0xB5071406) == "181.7.20.6"
+
+    @given(ips)
+    @settings(max_examples=200, deadline=None)
+    def test_roundtrip_property(self, ip):
+        assert ip_to_int(int_to_ip(ip)) == ip
+
+    def test_rejects_malformed(self):
+        for bad in ("1.2.3", "1.2.3.4.5", "300.1.1.1", "a.b.c.d"):
+            with pytest.raises(ValueError):
+                ip_to_int(bad)
+        with pytest.raises(ValueError):
+            int_to_ip(-1)
+        with pytest.raises(ValueError):
+            int_to_ip(1 << 32)
+
+
+class TestPrefixFormat:
+    def test_paper_notation(self):
+        ip = ip_to_int("181.7.20.6")
+        assert prefix_str(make_prefix(ip, 32)) == "181.7.20.6"
+        assert prefix_str(make_prefix(ip, 24)) == "181.7.20.*"
+        assert prefix_str(make_prefix(ip, 16)) == "181.7.*"
+        assert prefix_str(make_prefix(ip, 8)) == "181.*"
+        assert prefix_str(make_prefix(ip, 0)) == "*"
+
+    @given(ips, lengths)
+    @settings(max_examples=200, deadline=None)
+    def test_parse_roundtrip(self, ip, length):
+        prefix = make_prefix(ip, length)
+        assert parse_prefix(prefix_str(prefix)) == prefix
+
+    def test_parse_rejects_malformed(self):
+        for bad in ("1.2.3.4.*", "*.*", "1.2.3.400", ""):
+            with pytest.raises(ValueError):
+                parse_prefix(bad)
+
+    def test_make_prefix_rejects_bad_length(self):
+        with pytest.raises(ValueError):
+            make_prefix(0, 12)
+
+
+class TestGeneralization:
+    def test_known_relations(self):
+        ip = ip_to_int("181.7.20.6")
+        full = make_prefix(ip, 32)
+        p24 = make_prefix(ip, 24)
+        p16 = make_prefix(ip, 16)
+        assert generalizes_1d(p16, full)
+        assert generalizes_1d(p24, full)
+        assert generalizes_1d(p16, p24)
+        assert not generalizes_1d(full, p16)
+        other = make_prefix(ip_to_int("182.0.0.0"), 8)
+        assert not generalizes_1d(other, full)
+
+    @given(ips, lengths)
+    @settings(max_examples=150, deadline=None)
+    def test_reflexive(self, ip, length):
+        p = make_prefix(ip, length)
+        assert generalizes_1d(p, p)
+
+    @given(ips, lengths, lengths, lengths)
+    @settings(max_examples=150, deadline=None)
+    def test_transitive_along_chain(self, ip, l1, l2, l3):
+        a, b, c = sorted([l1, l2, l3])
+        pa, pb, pc = make_prefix(ip, a), make_prefix(ip, b), make_prefix(ip, c)
+        assert generalizes_1d(pa, pb) and generalizes_1d(pb, pc)
+        assert generalizes_1d(pa, pc)
+
+    @given(ips)
+    @settings(max_examples=100, deadline=None)
+    def test_root_generalizes_everything(self, ip):
+        assert generalizes_1d((0, 0), make_prefix(ip, 32))
+
+
+class TestParent:
+    def test_parent_chain(self):
+        ip = ip_to_int("181.7.20.6")
+        chain = [make_prefix(ip, length) for length in (32, 24, 16, 8, 0)]
+        for child, parent in zip(chain, chain[1:]):
+            assert parent_1d(child) == parent
+        assert parent_1d(chain[-1]) is None
+
+    @given(ips, st.sampled_from([32, 24, 16, 8]))
+    @settings(max_examples=100, deadline=None)
+    def test_parent_generalizes_child(self, ip, length):
+        child = make_prefix(ip, length)
+        parent = parent_1d(child)
+        assert parent is not None
+        assert generalizes_1d(parent, child)
+        assert parent != child
+
+
+class TestSubnet:
+    def test_subnet_of(self):
+        assert subnet_of(ip_to_int("10.2.3.4")) == (ip_to_int("10.0.0.0"), 8)
+        assert subnet_of(ip_to_int("10.2.3.4"), 16) == (
+            ip_to_int("10.2.0.0"),
+            16,
+        )
+
+    def test_masks_table(self):
+        assert MASKS[32] == 0xFFFFFFFF
+        assert MASKS[24] == 0xFFFFFF00
+        assert MASKS[0] == 0

@@ -1,0 +1,171 @@
+"""Cross-module integration tests: full pipelines against ground truth."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    BACKBONE,
+    DATACENTER,
+    ExactWindowCounter,
+    ExactWindowHHH,
+    HMemento,
+    Memento,
+    NetwideConfig,
+    NetwideSystem,
+    RHHH,
+    SRC_HIERARCHY,
+    WindowBaseline,
+    generate_trace,
+    inject_flood,
+    precision_recall,
+)
+from repro.traffic.flood import FloodSpec
+
+
+class TestSingleDevicePipeline:
+    """Trace generator → sketch → heavy hitters vs exact ground truth."""
+
+    @pytest.mark.parametrize("profile", [BACKBONE, DATACENTER])
+    def test_memento_recall_on_profiles(self, profile):
+        window, theta = 8000, 0.01
+        trace = generate_trace(profile, 3 * window, seed=17).packets_1d()
+        sketch = Memento(window=window, counters=512, tau=1.0)
+        exact = ExactWindowCounter(sketch.effective_window)
+        for pkt in trace:
+            sketch.update(pkt)
+            exact.update(pkt)
+        truth = set(exact.heavy_hitters(theta))
+        reported = set(sketch.heavy_hitters(theta))
+        quality = precision_recall(reported, truth)
+        assert quality.recall == 1.0  # conservative estimates never miss
+        # and the report is not a blowup: bounded false positives
+        assert len(reported) <= len(truth) + sketch.k
+
+    def test_sampled_memento_approximate_recall(self):
+        window, theta = 10_000, 0.02
+        trace = generate_trace(DATACENTER, 3 * window, seed=23).packets_1d()
+        sketch = Memento(window=window, counters=512, tau=0.25, seed=23)
+        exact = ExactWindowCounter(sketch.effective_window)
+        for pkt in trace:
+            sketch.update(pkt)
+            exact.update(pkt)
+        truth = set(exact.heavy_hitters(theta))
+        assert truth, "need at least one true heavy hitter"
+        reported = set(sketch.heavy_hitters(theta))
+        quality = precision_recall(reported, truth)
+        assert quality.recall >= 0.9  # sampling noise may cost a borderline flow
+
+    def test_hhh_algorithms_agree_on_dominant_subnet(self):
+        """All three HHH algorithms find the same dominant /8 subnet."""
+        window = 6000
+        rng = np.random.default_rng(29)
+        base = 0x37000000
+        stream = [
+            base | int(rng.integers(0, 1 << 24))
+            if rng.random() < 0.5
+            else int(rng.integers(0, 2**32))
+            for _ in range(3 * window)
+        ]
+        hm = HMemento(
+            window=window, hierarchy=SRC_HIERARCHY, counters=640, tau=0.5, seed=29
+        )
+        wb = WindowBaseline(SRC_HIERARCHY, window=window, counters=128)
+        rh = RHHH(SRC_HIERARCHY, counters=128, seed=29)
+        for pkt in stream:
+            hm.update(pkt)
+            wb.update(pkt)
+            rh.update(pkt)
+        target = (base, 8)
+        assert target in hm.output(theta=0.3)
+        assert target in wb.output(theta=0.3)
+        assert target in rh.output(theta=0.3)
+
+
+class TestNetwidePipeline:
+    """Points → transport → controller vs the exact global window."""
+
+    def test_controller_tracks_global_window_hhh(self):
+        window = 8000
+        trace = generate_trace(BACKBONE, 3 * window, seed=31).packets_1d()
+        config = NetwideConfig(
+            points=5,
+            method="batch",
+            budget=2.0,
+            window=window,
+            counters=2048,
+            hierarchy=SRC_HIERARCHY,
+            seed=31,
+        )
+        system = NetwideSystem(config)
+        oracle = ExactWindowHHH(SRC_HIERARCHY, window=window)
+        for i, pkt in enumerate(trace):
+            system.offer(i % 5, pkt)
+            oracle.update(pkt)
+        # every truly heavy /8 subnet is detected by the controller
+        theta = 0.02
+        truth = {
+            p for p in oracle.heavy_prefixes(theta * 1.5) if p[1] == 8
+        }
+        detected = system.detected_subnets(theta, subnet_bits=8)
+        assert truth, "need heavy subnets in the trace"
+        assert truth <= detected
+
+    def test_flood_pipeline_detects_attackers_before_trace_ends(self):
+        base = generate_trace(BACKBONE, 12_000, seed=37).packets_1d()
+        flood = inject_flood(
+            base,
+            spec=FloodSpec(num_subnets=5, share=0.6),
+            seed=38,
+            start_index=3000,
+        )
+        window = 5000
+        config = NetwideConfig(
+            points=4,
+            method="batch",
+            budget=2.0,
+            window=window,
+            counters=2048,
+            hierarchy=SRC_HIERARCHY,
+            seed=39,
+        )
+        system = NetwideSystem(config)
+        detected_at = {}
+        for i, pkt in enumerate(flood.src):
+            system.offer(i % 4, pkt)
+            if i % 500 == 0 and i > flood.start_index:
+                for subnet in system.detected_subnets(0.05, subnet_bits=8):
+                    detected_at.setdefault(subnet, i)
+        hits = set(detected_at) & flood.subnet_set()
+        assert len(hits) == 5  # each attacker at 12% share is found
+        assert all(
+            when >= flood.start_index for s, when in detected_at.items() if s in hits
+        )
+
+
+class TestConsistencyAcrossSeeds:
+    def test_same_seed_same_results(self):
+        trace = generate_trace(DATACENTER, 5000, seed=41).packets_1d()
+
+        def run():
+            sketch = Memento(window=2000, counters=128, tau=0.25, seed=41)
+            for pkt in trace:
+                sketch.update(pkt)
+            return sorted(sketch.heavy_hitters(0.05).items())
+
+        assert run() == run()
+
+    def test_different_seed_same_heavy_set(self):
+        """Sampling randomness must not change *which* flows are heavy."""
+        window, theta = 8000, 0.05
+        trace = generate_trace(DATACENTER, 2 * window, seed=43).packets_1d()
+        exact = ExactWindowCounter(window)
+        for pkt in trace:
+            exact.update(pkt)
+        truth = set(exact.heavy_hitters(theta))
+        for seed in (1, 2, 3):
+            sketch = Memento(window=window, counters=512, tau=0.25, seed=seed)
+            for pkt in trace:
+                sketch.update(pkt)
+            assert truth <= set(sketch.heavy_hitters(theta))

@@ -1,0 +1,130 @@
+"""Failure-injection tests: malformed inputs, degenerate configs, abuse."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    AggregationController,
+    HMemento,
+    Memento,
+    NetwideConfig,
+    NetwideSystem,
+    SRC_HIERARCHY,
+    SketchController,
+    SpaceSaving,
+)
+from repro.netwide.messages import AggregateReport, BatchReport
+
+
+class TestDegenerateConfigurations:
+    def test_window_smaller_than_counters(self):
+        """W < k inflates the effective window but stays functional."""
+        sketch = Memento(window=10, counters=64, tau=1.0)
+        assert sketch.effective_window == 64
+        for i in range(500):
+            sketch.update(i % 3)
+        assert sketch.query(0) > 0
+
+    def test_single_counter(self):
+        sketch = Memento(window=100, counters=1, tau=1.0)
+        for _ in range(300):
+            sketch.update("only")
+        assert sketch.query("only") >= 100
+
+    def test_window_of_one(self):
+        sketch = Memento(window=1, counters=1, tau=1.0)
+        sketch.update("a")
+        sketch.update("b")
+        assert sketch.query("b") >= 1
+
+    def test_space_saving_single_counter_churn(self):
+        ss = SpaceSaving(1)
+        for i in range(1000):
+            ss.add(i)
+        assert ss.monitored == 1
+        assert ss.query(999) == 1000  # everything merged into one counter
+
+    def test_hmemento_minimum_window(self):
+        sketch = HMemento(window=1, hierarchy=SRC_HIERARCHY, counters=5, tau=1.0)
+        sketch.update(0x01020304)
+        assert sketch.updates == 1
+
+
+class TestMalformedReports:
+    def test_controller_rejects_negative_gap(self):
+        controller = SketchController(Memento(window=100, counters=8, tau=0.5))
+        bad = BatchReport(
+            point_id=0, samples=("a", "b", "c"), covered=1, size_bytes=76
+        )
+        with pytest.raises(ValueError):
+            controller.receive(bad)  # covered < samples -> negative gap
+
+    def test_controller_accepts_empty_batch(self):
+        controller = SketchController(Memento(window=100, counters=8, tau=0.5))
+        controller.receive(
+            BatchReport(point_id=0, samples=(), covered=10, size_bytes=64)
+        )
+        assert controller.packets_covered == 10
+
+    def test_aggregation_out_of_order_time(self):
+        """A stale 'now' must not resurrect evicted reports."""
+        controller = AggregationController(window=100)
+        controller.receive(
+            AggregateReport(point_id=0, entries={"a": 5}, covered=5, size_bytes=68),
+            now=50,
+        )
+        controller.advance(now=500)  # evicts
+        assert controller.query("a") == 0.0
+        controller.advance(now=60)  # time goes "backwards": harmless no-op
+        assert controller.query("a") == 0.0
+
+    def test_aggregation_empty_report(self):
+        controller = AggregationController(window=100)
+        controller.receive(
+            AggregateReport(point_id=0, entries={}, covered=0, size_bytes=64),
+            now=1,
+        )
+        assert controller.retained_reports == 1
+        assert controller.heavy_hitters(0.1) == {}
+
+
+class TestAbuseResistance:
+    def test_memento_many_distinct_flows_bounded_state(self):
+        """Adversarial all-distinct traffic cannot grow state unboundedly."""
+        sketch = Memento(window=1000, counters=32, tau=1.0)
+        for i in range(50_000):
+            sketch.update(i)
+        # B entries are bounded by the queue capacity (k+1 blocks of
+        # block_size overflows each, drained continuously)
+        assert sketch.overflow_entries <= (sketch.k + 1) * sketch.block_size
+        assert sketch._y.monitored <= sketch.k
+
+    def test_queue_drain_keeps_up_under_bursts(self):
+        sketch = Memento(window=500, counters=10, tau=1.0)
+        for burst in range(100):
+            for _ in range(50):
+                sketch.update("hot")
+            for i in range(50):
+                sketch.update(f"noise{i}")
+        total_queued = sum(len(q) for q in sketch._queues)
+        assert total_queued == sum(sketch._offsets.values())
+
+    def test_netwide_zero_traffic_queries(self):
+        system = NetwideSystem(
+            NetwideConfig(
+                method="batch",
+                window=1000,
+                points=2,
+                hierarchy=SRC_HIERARCHY,
+                counters=64,
+            )
+        )
+        # no packets at all: queries must be safe and small
+        assert system.query_point((0, 8)) == 0.0
+        assert system.detected_subnets(0.5) == set()
+
+    def test_unhashable_packet_raises_cleanly(self):
+        sketch = Memento(window=100, counters=8, tau=1.0)
+        with pytest.raises(TypeError):
+            sketch.update([1, 2, 3])

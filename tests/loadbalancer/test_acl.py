@@ -1,0 +1,99 @@
+"""Subnet ACL tests: longest-prefix match, actions, rate limiting."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hierarchy.prefix import ip_to_int, parse_prefix
+from repro.loadbalancer.acl import AccessControlList, AclAction, AclRule
+
+ips = st.integers(min_value=0, max_value=0xFFFFFFFF)
+
+
+class TestRule:
+    def test_rate_validation(self):
+        with pytest.raises(ValueError):
+            AclRule(prefix=(0, 8), action=AclAction.RATE_LIMIT, rate=1.5)
+
+    def test_describe(self):
+        rule = AclRule(prefix=parse_prefix("10.2.*"), action=AclAction.DENY)
+        assert "deny" in rule.describe()
+        assert "10.2.*" in rule.describe()
+
+    def test_rate_admission_deterministic(self):
+        rule = AclRule(prefix=(0, 0), action=AclAction.RATE_LIMIT, rate=0.25)
+        admitted = sum(rule.admit() for _ in range(400))
+        assert admitted == 100  # exactly a quarter, fractional accumulator
+
+
+class TestEvaluation:
+    def test_default_allow(self):
+        acl = AccessControlList()
+        assert acl.evaluate(ip_to_int("1.2.3.4")).action is AclAction.ALLOW
+
+    def test_longest_prefix_match(self):
+        acl = AccessControlList()
+        acl.add_rule(parse_prefix("10.*"), AclAction.DENY)
+        acl.add_rule(parse_prefix("10.2.*"), AclAction.TARPIT)
+        acl.add_rule(parse_prefix("10.2.3.4"), AclAction.ALLOW)
+        assert acl.evaluate(ip_to_int("10.9.9.9")).action is AclAction.DENY
+        assert acl.evaluate(ip_to_int("10.2.9.9")).action is AclAction.TARPIT
+        assert acl.evaluate(ip_to_int("10.2.3.4")).action is AclAction.ALLOW
+        assert acl.evaluate(ip_to_int("11.0.0.1")).action is AclAction.ALLOW
+
+    def test_root_rule_applies_last(self):
+        acl = AccessControlList()
+        acl.add_rule((0, 0), AclAction.DENY)
+        acl.add_rule(parse_prefix("10.*"), AclAction.ALLOW)
+        assert acl.evaluate(ip_to_int("10.1.1.1")).action is AclAction.ALLOW
+        assert acl.evaluate(ip_to_int("99.1.1.1")).action is AclAction.DENY
+
+    def test_rate_limit_admits_fraction(self):
+        acl = AccessControlList()
+        acl.add_rule(parse_prefix("10.*"), AclAction.RATE_LIMIT, rate=0.5)
+        src = ip_to_int("10.1.1.1")
+        decisions = [acl.evaluate(src).action for _ in range(100)]
+        allowed = sum(d is AclAction.ALLOW for d in decisions)
+        limited = sum(d is AclAction.RATE_LIMIT for d in decisions)
+        assert allowed == 50 and limited == 50
+
+    def test_hit_counting(self):
+        acl = AccessControlList()
+        rule = acl.add_rule(parse_prefix("10.*"), AclAction.DENY)
+        for _ in range(5):
+            acl.evaluate(ip_to_int("10.0.0.1"))
+        acl.evaluate(ip_to_int("11.0.0.1"))  # no match
+        assert rule.hits == 5
+
+    def test_rule_canonicalization(self):
+        acl = AccessControlList()
+        acl.add_rule((ip_to_int("10.2.3.4"), 8), AclAction.DENY)
+        assert acl.has_rule((ip_to_int("10.0.0.0"), 8))
+        assert acl.evaluate(ip_to_int("10.200.1.1")).action is AclAction.DENY
+
+    def test_add_remove_clear(self):
+        acl = AccessControlList()
+        prefix = parse_prefix("20.*")
+        acl.add_rule(prefix, AclAction.DENY)
+        assert len(acl) == 1
+        assert acl.remove_rule(prefix)
+        assert not acl.remove_rule(prefix)
+        acl.add_rule(prefix, AclAction.DENY)
+        acl.clear()
+        assert len(acl) == 0
+
+    def test_invalid_prefix_length(self):
+        acl = AccessControlList()
+        with pytest.raises(ValueError):
+            acl.add_rule((0, 12), AclAction.DENY)
+
+    @given(ips)
+    @settings(max_examples=150, deadline=None)
+    def test_match_is_consistent_with_prefix_containment(self, src):
+        acl = AccessControlList()
+        acl.add_rule(parse_prefix("10.*"), AclAction.DENY)
+        decision = acl.evaluate(src)
+        in_subnet = (src >> 24) == 10
+        assert (decision.action is AclAction.DENY) == in_subnet

@@ -1,0 +1,75 @@
+"""Backend pool and dispatch policy tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.loadbalancer.backend import (
+    Backend,
+    BackendPool,
+    DispatchPolicy,
+    Response,
+)
+
+
+class TestBackend:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Backend(0, capacity=0)
+        with pytest.raises(ValueError):
+            Backend(0, service_time=0)
+
+    def test_serves_within_capacity(self):
+        backend = Backend(1, capacity=2, service_time=100)
+        assert backend.offer(now=0).ok
+        assert backend.offer(now=1).ok
+        overload = backend.offer(now=2)
+        assert overload.status == 503
+        assert backend.rejected == 1
+
+    def test_drain_frees_capacity(self):
+        backend = Backend(1, capacity=1, service_time=5)
+        assert backend.offer(now=0).ok
+        assert backend.offer(now=1).status == 503
+        assert backend.offer(now=10).ok  # first request completed at t=5
+        assert backend.served == 2
+
+    def test_utilization(self):
+        backend = Backend(1, capacity=4, service_time=100)
+        backend.offer(now=0)
+        assert backend.utilization == 0.25
+
+
+class TestResponse:
+    def test_ok_range(self):
+        assert Response(200).ok
+        assert not Response(403).ok
+        assert not Response(503).ok
+
+
+class TestBackendPool:
+    def test_needs_backends(self):
+        with pytest.raises(ValueError):
+            BackendPool([])
+
+    def test_round_robin_cycles(self):
+        pool = BackendPool([Backend(i, capacity=10) for i in range(3)])
+        ids = [pool.dispatch(now=t).backend_id for t in range(6)]
+        assert ids == [0, 1, 2, 0, 1, 2]
+
+    def test_least_connections_prefers_idle(self):
+        busy = Backend(0, capacity=10, service_time=1000)
+        idle = Backend(1, capacity=10, service_time=1000)
+        pool = BackendPool([busy, idle], policy=DispatchPolicy.LEAST_CONNECTIONS)
+        first = pool.dispatch(now=0)
+        second = pool.dispatch(now=1)
+        assert {first.backend_id, second.backend_id} == {0, 1}
+        # third goes to whichever drained first; with both busy the counts tie
+        assert pool.total_served == 2
+
+    def test_pool_counters(self):
+        pool = BackendPool([Backend(0, capacity=1, service_time=1000)])
+        pool.dispatch(now=0)
+        pool.dispatch(now=1)
+        assert pool.total_served == 1
+        assert pool.total_rejected == 1

@@ -1,0 +1,68 @@
+"""Load-balancer frontend tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import HttpTrafficGenerator
+from repro.hierarchy.prefix import ip_to_int, parse_prefix
+from repro.loadbalancer.acl import AccessControlList, AclAction
+from repro.loadbalancer.backend import Backend, BackendPool
+from repro.loadbalancer.haproxy import LoadBalancer
+
+
+def make_lb(tap=None):
+    pool = BackendPool([Backend(0, capacity=1000), Backend(1, capacity=1000)])
+    return LoadBalancer("lb-test", pool=pool, tap=tap)
+
+
+class TestRouting:
+    def test_allowed_request_reaches_backend(self):
+        lb = make_lb()
+        response = lb.handle(ip_to_int("1.2.3.4"))
+        assert response.ok
+        assert response.backend_id in (0, 1)
+        assert lb.stats.allowed == 1
+
+    def test_deny_rule_blocks(self):
+        lb = make_lb()
+        lb.acl.add_rule(parse_prefix("10.*"), AclAction.DENY)
+        response = lb.handle(ip_to_int("10.1.1.1"))
+        assert response.status == 403
+        assert lb.stats.denied == 1
+        assert lb.stats.mitigated == 1
+
+    def test_tarpit_flags_response(self):
+        lb = make_lb()
+        lb.acl.add_rule(parse_prefix("10.*"), AclAction.TARPIT)
+        response = lb.handle(ip_to_int("10.1.1.1"))
+        assert response.tarpitted
+        assert lb.stats.tarpitted == 1
+
+    def test_rate_limit_admits_fraction(self):
+        lb = make_lb()
+        lb.acl.add_rule(parse_prefix("10.*"), AclAction.RATE_LIMIT, rate=0.5)
+        responses = [lb.handle(ip_to_int("10.1.1.1")) for _ in range(100)]
+        allowed = sum(r.ok for r in responses)
+        assert allowed == 50
+        assert lb.stats.rate_limited == 50
+
+    def test_http_request_objects_accepted(self):
+        lb = make_lb()
+        request = HttpTrafficGenerator(clients=10, seed=1).take(1)[0]
+        assert lb.handle(request).ok
+
+
+class TestMeasurementTap:
+    def test_tap_sees_every_request_including_blocked(self):
+        seen = []
+        lb = make_lb(tap=seen.append)
+        lb.acl.add_rule(parse_prefix("10.*"), AclAction.DENY)
+        lb.handle(ip_to_int("10.1.1.1"))
+        lb.handle(ip_to_int("20.1.1.1"))
+        assert seen == [ip_to_int("10.1.1.1"), ip_to_int("20.1.1.1")]
+        assert lb.stats.received == 2
+
+    def test_no_tap_is_fine(self):
+        lb = make_lb(tap=None)
+        assert lb.handle(ip_to_int("3.3.3.3")).ok

@@ -1,0 +1,119 @@
+"""Controller-side tests: sketch ingestion and idealized aggregation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    AggregationController,
+    HMemento,
+    Memento,
+    SketchController,
+    SRC_HIERARCHY,
+)
+from repro.netwide.messages import AggregateReport, BatchReport
+
+
+def batch_report(samples, covered, point_id=0):
+    return BatchReport(
+        point_id=point_id,
+        samples=tuple(samples),
+        covered=covered,
+        size_bytes=64 + 4 * len(samples),
+    )
+
+
+def agg_report(entries, covered=100, point_id=0):
+    return AggregateReport(
+        point_id=point_id,
+        entries=dict(entries),
+        covered=covered,
+        size_bytes=64 + 4 * len(entries),
+    )
+
+
+class TestSketchController:
+    def test_full_plus_window_updates(self):
+        algorithm = Memento(window=100, counters=10, tau=0.5)
+        controller = SketchController(algorithm)
+        controller.receive(batch_report(["a", "b"], covered=10))
+        assert algorithm.full_updates == 2
+        assert algorithm.updates == 10  # 2 full + 8 window
+        assert controller.reports_received == 1
+        assert controller.samples_ingested == 2
+        assert controller.packets_covered == 10
+
+    def test_query_scaling_matches_tau(self):
+        algorithm = Memento(window=1000, counters=50, tau=0.5)
+        controller = SketchController(algorithm)
+        # 50 samples of "x" out of 100 covered packets -> estimate ~100
+        for _ in range(10):
+            controller.receive(batch_report(["x"] * 5, covered=10))
+        est = controller.query_point("x")
+        assert 60 <= est <= 140
+
+    def test_hhh_controller_output(self):
+        algorithm = HMemento(
+            window=1000, hierarchy=SRC_HIERARCHY, counters=200, tau=1.0, seed=1
+        )
+        controller = SketchController(algorithm)
+        pkt = 0x0A000001
+        controller.receive(batch_report([pkt] * 100, covered=100))
+        assert (pkt, 32) in controller.output(theta=0.05)
+        heavy = controller.heavy_prefixes(theta=0.05)
+        assert (pkt, 32) in heavy
+
+    def test_candidates_passthrough(self):
+        algorithm = Memento(window=100, counters=10, tau=1.0)
+        controller = SketchController(algorithm)
+        controller.receive(batch_report(["k"] * 30, covered=30))
+        assert "k" in set(controller.candidates())
+
+
+class TestAggregationController:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AggregationController(window=0)
+
+    def test_merges_reports(self):
+        controller = AggregationController(window=1000)
+        controller.receive(agg_report({"a": 5, "b": 2}), now=10)
+        controller.receive(agg_report({"a": 3}), now=20)
+        assert controller.query("a") == 8.0
+        assert controller.query("b") == 2.0
+        assert controller.query("zzz") == 0.0
+        assert controller.retained_reports == 2
+
+    def test_window_eviction(self):
+        controller = AggregationController(window=100)
+        controller.receive(agg_report({"a": 5}), now=10)
+        controller.receive(agg_report({"a": 7}), now=90)
+        assert controller.query("a") == 12.0
+        controller.advance(now=111)  # horizon 11 > 10: first report expires
+        assert controller.query("a") == 7.0
+        assert controller.retained_reports == 1
+        controller.advance(now=200)
+        assert controller.query("a") == 0.0
+
+    def test_heavy_hitters_threshold(self):
+        controller = AggregationController(window=100)
+        controller.receive(agg_report({"hot": 60, "cold": 3}), now=5)
+        assert controller.heavy_hitters(theta=0.5) == {"hot": 60.0}
+        assert controller.heavy_prefixes(theta=0.5) == {"hot": 60.0}
+
+    def test_hhh_output_with_hierarchy(self):
+        controller = AggregationController(window=100, hierarchy=SRC_HIERARCHY)
+        entries = {p: 60 for p in SRC_HIERARCHY.all_prefixes(0x0A000001)}
+        controller.receive(agg_report(entries), now=5)
+        out = controller.output(theta=0.5)
+        assert (0x0A000001, 32) in out
+
+    def test_output_without_hierarchy_falls_back(self):
+        controller = AggregationController(window=100)
+        controller.receive(agg_report({"hot": 80}), now=1)
+        assert controller.output(theta=0.5) == {"hot"}
+
+    def test_query_point_equals_query(self):
+        controller = AggregationController(window=100)
+        controller.receive(agg_report({"a": 5}), now=1)
+        assert controller.query_point("a") == controller.query("a")

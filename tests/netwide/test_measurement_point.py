@@ -1,0 +1,123 @@
+"""Measurement-point behaviour: batching, byte accounting, aggregation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import AggregatingPoint, SamplingPoint, SRC_HIERARCHY
+from repro.core.sampling import FixedSampler
+
+
+class TestSamplingPoint:
+    def test_batch_emission_cadence(self):
+        point = SamplingPoint(
+            point_id=0, tau=1.0, batch_size=3, sampler=FixedSampler()
+        )
+        reports = [point.observe(i) for i in range(7)]
+        emitted = [r for r in reports if r is not None]
+        assert len(emitted) == 2
+        assert emitted[0].samples == (0, 1, 2)
+        assert emitted[0].covered == 3
+        assert point.pending_samples == 1
+        assert point.pending_covered == 1
+
+    def test_covered_counts_unsampled_packets(self):
+        # sample every other packet
+        decisions = [True, False] * 10
+        point = SamplingPoint(
+            point_id=1, tau=0.5, batch_size=2, sampler=FixedSampler(decisions)
+        )
+        report = None
+        seen = 0
+        for i in range(20):
+            seen += 1
+            report = point.observe(i)
+            if report:
+                break
+        assert report is not None
+        assert report.covered == seen
+        assert len(report.samples) == 2
+
+    def test_byte_accounting(self):
+        point = SamplingPoint(
+            point_id=2, tau=1.0, batch_size=4, header=64, payload=4,
+            sampler=FixedSampler(),
+        )
+        report = None
+        for i in range(4):
+            report = point.observe(i)
+        assert report.size_bytes == 64 + 4 * 4
+        assert point.bytes_sent == report.size_bytes
+        assert point.reports_sent == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SamplingPoint(point_id=0, tau=0.5, batch_size=0)
+
+
+class TestAggregatingPoint:
+    def test_emits_when_allowance_covers_message(self):
+        # budget 10 B/pkt, header 64, payload 4: after 7 packets the
+        # allowance (70) covers 64 + 4*distinct
+        point = AggregatingPoint(point_id=0, budget=10.0, header=64, payload=4)
+        reports = []
+        for i in range(20):
+            r = point.observe("flow")
+            if r:
+                reports.append(r)
+        assert reports, "allowance should eventually cover a message"
+        first = reports[0]
+        # the delta covers exactly the packets since the previous report
+        assert first.entries == {"flow": first.covered}
+        assert first.size_bytes == 64 + 4 * 1
+
+    def test_allowance_carries_over(self):
+        point = AggregatingPoint(point_id=0, budget=100.0, header=64, payload=4)
+        r1 = point.observe("a")
+        assert r1 is not None  # 100 >= 68 immediately
+        # residual allowance = 100 - 68 = 32; next message costs 68 again
+        r2 = point.observe("b")
+        assert r2 is not None  # 32 + 100 = 132 >= 68
+
+    def test_hierarchy_mode_counts_prefixes(self):
+        point = AggregatingPoint(
+            point_id=0, budget=1000.0, header=64, payload=4,
+            hierarchy=SRC_HIERARCHY,
+        )
+        report = point.observe(0x0A000001)
+        assert report is not None
+        assert len(report.entries) == 5  # one entry per pattern
+        assert report.entries[(0x0A000001, 32)] == 1
+        assert report.entries[(0, 0)] == 1
+
+    def test_max_entries_caps_message_and_keeps_heaviest(self):
+        point = AggregatingPoint(
+            point_id=0, budget=5.0, header=64, payload=4, max_entries=2
+        )
+        # heavy flows A (x30), B (x20), plus 10 singletons
+        reports = []
+        stream = ["A"] * 30 + ["B"] * 20 + [f"s{i}" for i in range(10)]
+        for item in stream:
+            r = point.observe(item)
+            if r:
+                reports.append(r)
+        assert reports
+        for report in reports:
+            assert len(report.entries) <= 2
+            assert report.size_bytes <= 64 + 4 * 2
+        # the heaviest flow of some delta must have been shipped
+        assert any("A" in r.entries for r in reports)
+
+    def test_delta_resets_after_emit(self):
+        point = AggregatingPoint(point_id=0, budget=100.0, header=64, payload=4)
+        point.observe("a")
+        assert point.pending_entries == 0  # emitted immediately
+        point2 = AggregatingPoint(point_id=1, budget=0.1, header=64, payload=4)
+        point2.observe("a")
+        assert point2.pending_entries == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AggregatingPoint(point_id=0, budget=0.0)
+        with pytest.raises(ValueError):
+            AggregatingPoint(point_id=0, budget=1.0, max_entries=0)

@@ -1,0 +1,45 @@
+"""Report message model tests."""
+
+from __future__ import annotations
+
+from repro.netwide.messages import (
+    PAYLOAD_SRC,
+    PAYLOAD_SRC_DST,
+    TCP_HEADER_OVERHEAD,
+    AggregateReport,
+    BatchReport,
+)
+
+
+class TestConstants:
+    def test_paper_values(self):
+        """Section 5.2's byte accounting constants."""
+        assert TCP_HEADER_OVERHEAD == 64
+        assert PAYLOAD_SRC == 4
+        assert PAYLOAD_SRC_DST == 8
+
+
+class TestBatchReport:
+    def test_fields_and_immutability(self):
+        report = BatchReport(
+            point_id=3, samples=(1, 2, 3), covered=30, size_bytes=76
+        )
+        assert report.point_id == 3
+        assert report.samples == (1, 2, 3)
+        assert report.covered == 30
+        assert report.size_bytes == 64 + 3 * 4
+        try:
+            report.covered = 99
+            raised = False
+        except AttributeError:
+            raised = True
+        assert raised, "reports must be immutable once on the wire"
+
+
+class TestAggregateReport:
+    def test_fields(self):
+        report = AggregateReport(
+            point_id=1, entries={"a": 5}, covered=10, size_bytes=68
+        )
+        assert report.entries == {"a": 5}
+        assert report.size_bytes == 64 + 4 * 1

@@ -1,0 +1,63 @@
+"""The slow-measurement-point effect (Section 5.2's motivating concern).
+
+"If there are two measurement points in which one processes a million
+requests per second while the other only a thousand, the batches of the
+second point would include many obsolete packets that are not within the
+current window" — the delay error is governed by the slowest point.
+These tests reproduce that effect with weighted packet assignment.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import NetwideConfig, generate_trace, run_error_experiment
+from repro.traffic.synth import DATACENTER
+
+
+@pytest.fixture(scope="module")
+def stream():
+    return generate_trace(DATACENTER, 30_000, seed=61).packets_1d()
+
+
+def run_with_weights(stream, weights):
+    config = NetwideConfig(
+        points=len(weights),
+        method="batch",
+        budget=1.0,
+        window=6000,
+        counters=512,
+        batch_size=20,
+        seed=61,
+    )
+    return run_error_experiment(
+        config,
+        stream,
+        stride=40,
+        assignment="weighted",
+        weights=weights,
+    )
+
+
+class TestSlowPoints:
+    def test_skewed_points_hurt_accuracy(self, stream):
+        """A starved point's stale batches raise the controller's error."""
+        balanced = run_with_weights(stream, [1.0, 1.0, 1.0, 1.0])
+        skewed = run_with_weights(stream, [0.97, 0.01, 0.01, 0.01])
+        assert skewed["rmse"] > balanced["rmse"]
+
+    def test_balanced_round_robin_close_to_uniform(self, stream):
+        config = NetwideConfig(
+            points=4,
+            method="batch",
+            budget=1.0,
+            window=6000,
+            counters=512,
+            batch_size=20,
+            seed=61,
+        )
+        rr = run_error_experiment(config, stream, stride=40, assignment="round_robin")
+        uni = run_error_experiment(config, stream, stride=40, assignment="uniform")
+        # same traffic split in expectation: errors within 2x of each other
+        hi, lo = max(rr["rmse"], uni["rmse"]), min(rr["rmse"], uni["rmse"])
+        assert hi / max(lo, 1e-9) < 2.0

@@ -1,0 +1,40 @@
+"""Smoke tests: the shipped examples must run and produce their story."""
+
+from __future__ import annotations
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).parent.parent / "examples"
+
+
+def load_example(name: str):
+    spec = importlib.util.spec_from_file_location(name, EXAMPLES / f"{name}.py")
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestExamplesRun:
+    def test_quickstart(self, capsys):
+        load_example("quickstart").main()
+        out = capsys.readouterr().out
+        assert "window heavy hitters" in out
+        assert "Hierarchical heavy hitters" in out
+        assert "recall against exact ground truth" in out
+
+    def test_volumetric_alerting(self, capsys):
+        load_example("volumetric_alerting").main()
+        out = capsys.readouterr().out
+        assert "ENTER" in out and "tenant-7" in out
+        assert "LEAVE" in out
+
+    @pytest.mark.slow
+    def test_algorithm_comparison(self, capsys):
+        load_example("algorithm_comparison").main()
+        out = capsys.readouterr().out
+        assert "66.55" in out  # the appearing subnet
+        assert "window algorithms lock onto" in out

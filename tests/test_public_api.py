@@ -1,0 +1,74 @@
+"""Public-API surface tests: exports, docstrings, and doctests."""
+
+from __future__ import annotations
+
+import doctest
+import importlib
+import pkgutil
+
+import pytest
+
+import repro
+
+
+class TestExports:
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), f"__all__ names missing export: {name}"
+
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_subpackages_importable(self):
+        for pkg in (
+            "repro.core",
+            "repro.hierarchy",
+            "repro.traffic",
+            "repro.netwide",
+            "repro.loadbalancer",
+            "repro.analysis",
+            "repro.experiments",
+            "repro.cli",
+        ):
+            importlib.import_module(pkg)
+
+    def test_subpackage_all_resolve(self):
+        for pkg_name in (
+            "repro.core",
+            "repro.hierarchy",
+            "repro.traffic",
+            "repro.netwide",
+            "repro.loadbalancer",
+            "repro.analysis",
+        ):
+            module = importlib.import_module(pkg_name)
+            for name in module.__all__:
+                assert hasattr(module, name), f"{pkg_name}.{name}"
+
+
+def _all_modules():
+    out = []
+    for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        if info.name == "repro.__main__":
+            continue  # importing it runs the CLI
+        out.append(info.name)
+    return out
+
+
+class TestDocumentation:
+    @pytest.mark.parametrize("module_name", _all_modules())
+    def test_every_module_has_docstring(self, module_name):
+        module = importlib.import_module(module_name)
+        assert module.__doc__, f"{module_name} lacks a module docstring"
+
+    @pytest.mark.parametrize("module_name", _all_modules())
+    def test_doctests_pass(self, module_name):
+        module = importlib.import_module(module_name)
+        results = doctest.testmod(module, verbose=False)
+        assert results.failed == 0, f"{module_name}: {results.failed} doctest failures"
+
+    def test_public_classes_have_docstrings(self):
+        for name in repro.__all__:
+            obj = getattr(repro, name)
+            if isinstance(obj, type):
+                assert obj.__doc__, f"{name} lacks a class docstring"

@@ -1,0 +1,108 @@
+"""Flood injection (Section 6.4 procedure) tests."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import numpy as np
+import pytest
+
+from repro import FloodSpec, generate_trace, inject_flood
+from repro.traffic.synth import BACKBONE
+
+
+@pytest.fixture(scope="module")
+def base():
+    return generate_trace(BACKBONE, 20_000, seed=11).packets_1d()
+
+
+class TestSpec:
+    def test_defaults_match_paper(self):
+        spec = FloodSpec()
+        assert spec.num_subnets == 50
+        assert spec.share == 0.7
+        assert spec.subnet_bits == 8
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FloodSpec(num_subnets=0)
+        with pytest.raises(ValueError):
+            FloodSpec(share=1.5)
+        with pytest.raises(ValueError):
+            FloodSpec(subnet_bits=10)
+
+
+class TestInjection:
+    def test_prefix_unmodified(self, base):
+        flood = inject_flood(base, seed=1, start_index=5000)
+        assert flood.src[:5000] == base[:5000]
+        assert not any(flood.is_attack[:5000])
+        assert flood.start_index == 5000
+
+    def test_distinct_subnets(self, base):
+        flood = inject_flood(base, seed=2, start_index=1000)
+        assert len(flood.subnets) == 50
+        assert len(set(flood.subnets)) == 50
+        assert all(length == 8 for _, length in flood.subnets)
+
+    def test_attack_share_close_to_spec(self, base):
+        flood = inject_flood(base, seed=3, start_index=1000)
+        tail = flood.is_attack[1000:]
+        share = sum(tail) / len(tail)
+        assert abs(share - 0.7) < 0.03
+
+    def test_attack_packets_come_from_flood_subnets(self, base):
+        flood = inject_flood(base, seed=4, start_index=2000)
+        subnet_bases = {ip for ip, _ in flood.subnets}
+        for src, is_attack in zip(flood.src, flood.is_attack):
+            if is_attack:
+                assert (src & 0xFF000000) in subnet_bases
+
+    def test_base_trace_fully_consumed(self, base):
+        flood = inject_flood(base, seed=5, start_index=2000)
+        non_attack = [s for s, a in zip(flood.src, flood.is_attack) if not a]
+        assert non_attack == list(base)
+
+    def test_flood_subnets_spread_uniformly(self, base):
+        flood = inject_flood(base, seed=6, start_index=1000)
+        counts = Counter(
+            src & 0xFF000000
+            for src, a in zip(flood.src, flood.is_attack)
+            if a
+        )
+        values = np.array(list(counts.values()), dtype=float)
+        assert len(counts) == 50
+        # uniform subnet choice: coefficient of variation stays small
+        assert values.std() / values.mean() < 0.3
+
+    def test_seeded_determinism(self, base):
+        a = inject_flood(base, seed=7, start_index=1500)
+        b = inject_flood(base, seed=7, start_index=1500)
+        assert a.src == b.src and a.subnets == b.subnets
+
+    def test_validation(self, base):
+        with pytest.raises(ValueError):
+            inject_flood([], seed=1)
+        with pytest.raises(ValueError):
+            inject_flood(base, base_dst=[1, 2], seed=1)
+        with pytest.raises(ValueError):
+            inject_flood(base, seed=1, start_index=len(base) + 1)
+
+    def test_random_start_in_first_half(self, base):
+        flood = inject_flood(base, seed=8)
+        assert 1 <= flood.start_index <= len(base) // 2
+
+    def test_attack_count_property(self, base):
+        flood = inject_flood(base, seed=9, start_index=1000)
+        assert flood.attack_packets == sum(flood.is_attack)
+        assert flood.subnet_set() == set(flood.subnets)
+
+    def test_16_bit_subnets(self, base):
+        flood = inject_flood(
+            base, spec=FloodSpec(num_subnets=20, subnet_bits=16), seed=10,
+            start_index=1000,
+        )
+        assert all(length == 16 for _, length in flood.subnets)
+        for src, is_attack in zip(flood.src, flood.is_attack):
+            if is_attack:
+                assert (src & 0xFFFF0000, 16) in flood.subnet_set()

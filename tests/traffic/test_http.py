@@ -1,0 +1,77 @@
+"""Stateful HTTP traffic generator tests."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import pytest
+
+from repro import HttpTrafficGenerator
+
+
+class TestGenerator:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HttpTrafficGenerator(clients=0)
+        with pytest.raises(ValueError):
+            HttpTrafficGenerator(session_length_mean=0.5)
+        with pytest.raises(ValueError):
+            HttpTrafficGenerator(get_fraction=1.5)
+        gen = HttpTrafficGenerator(clients=10, seed=1)
+        with pytest.raises(ValueError):
+            gen.take(-1)
+
+    def test_take_count(self):
+        gen = HttpTrafficGenerator(clients=100, seed=1)
+        assert len(gen.take(250)) == 250
+
+    def test_seeded_determinism(self):
+        a = HttpTrafficGenerator(clients=100, seed=5).take(100)
+        b = HttpTrafficGenerator(clients=100, seed=5).take(100)
+        assert a == b
+
+    def test_methods_mix(self):
+        reqs = HttpTrafficGenerator(clients=50, get_fraction=0.8, seed=2).take(2000)
+        counts = Counter(r.method for r in reqs)
+        assert set(counts) <= {"GET", "POST"}
+        assert 0.7 < counts["GET"] / len(reqs) < 0.9
+
+    def test_sessions_share_source(self):
+        reqs = HttpTrafficGenerator(clients=50, seed=3).take(500)
+        by_session = {}
+        for r in reqs:
+            by_session.setdefault(r.session, set()).add(r.src)
+        assert all(len(srcs) == 1 for srcs in by_session.values())
+
+    def test_session_sequence_numbers(self):
+        reqs = HttpTrafficGenerator(clients=50, seed=4).take(500)
+        by_session = {}
+        for r in reqs:
+            by_session.setdefault(r.session, []).append(r.seq)
+        for seqs in by_session.values():
+            assert seqs == list(range(len(seqs)))
+
+    def test_session_length_mean(self):
+        mean = 4.0
+        reqs = HttpTrafficGenerator(
+            clients=1000, session_length_mean=mean, seed=6
+        ).take(20_000)
+        lengths = Counter(r.session for r in reqs)
+        # drop the (possibly truncated) last session
+        last = max(lengths)
+        del lengths[last]
+        import numpy as np
+
+        observed = np.mean(list(lengths.values()))
+        assert abs(observed - mean) < 0.5
+
+    def test_key_1d_is_source(self):
+        req = HttpTrafficGenerator(clients=10, seed=7).take(1)[0]
+        assert req.key_1d == req.src
+
+    def test_skewed_clients(self):
+        reqs = HttpTrafficGenerator(clients=1000, client_alpha=1.3, seed=8).take(
+            5000
+        )
+        top = Counter(r.src for r in reqs).most_common(1)[0][1]
+        assert top / len(reqs) > 0.02  # clearly above uniform 1/1000

@@ -1,0 +1,68 @@
+"""Synthetic trace generators — determinism and distributional shape."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import numpy as np
+import pytest
+
+from repro import BACKBONE, DATACENTER, EDGE, PROFILES, Packet, generate_trace
+
+
+class TestGeneration:
+    def test_length_and_types(self):
+        trace = generate_trace(DATACENTER, 500, seed=1)
+        assert len(trace) == 500
+        assert all(isinstance(s, int) for s in trace.src[:10])
+        assert all(0 <= s <= 0xFFFFFFFF for s in trace.src)
+        assert all(0 <= d <= 0xFFFFFFFF for d in trace.dst)
+
+    def test_rejects_bad_length(self):
+        with pytest.raises(ValueError):
+            generate_trace(DATACENTER, 0)
+
+    def test_seeded_determinism(self):
+        a = generate_trace(BACKBONE, 1000, seed=99)
+        b = generate_trace(BACKBONE, 1000, seed=99)
+        assert a.src == b.src and a.dst == b.dst
+
+    def test_different_seeds_differ(self):
+        a = generate_trace(BACKBONE, 1000, seed=1)
+        b = generate_trace(BACKBONE, 1000, seed=2)
+        assert a.src != b.src
+
+    def test_packet_views(self):
+        trace = generate_trace(EDGE, 50, seed=3)
+        assert trace.packets_1d() == trace.src
+        pairs = trace.packets_2d()
+        assert pairs[0] == (trace.src[0], trace.dst[0])
+        packets = trace.packets()
+        assert isinstance(packets[0], Packet)
+        assert packets[0].src == trace.src[0]
+
+    def test_profiles_registry(self):
+        assert set(PROFILES) == {"backbone", "datacenter", "edge"}
+
+
+class TestDistributionShape:
+    def test_datacenter_more_skewed_than_edge(self):
+        """Higher zipf_alpha ⇒ the top flow owns a larger traffic share."""
+        n = 30_000
+        shares = {}
+        for profile in (DATACENTER, EDGE):
+            trace = generate_trace(profile, n, seed=5)
+            top = Counter(trace.src).most_common(1)[0][1]
+            shares[profile.name] = top / n
+        assert shares["datacenter"] > shares["edge"]
+
+    def test_subnet_mass_concentration(self):
+        """A few /8 subnets must dominate (hierarchical skew)."""
+        trace = generate_trace(BACKBONE, 20_000, seed=6)
+        subnets = Counter(s >> 24 for s in trace.src)
+        top8 = sum(count for _, count in subnets.most_common(8))
+        assert top8 / len(trace) > 0.3
+
+    def test_flow_population_bounded(self):
+        trace = generate_trace(DATACENTER, 50_000, seed=7)
+        assert len(set(zip(trace.src, trace.dst))) <= DATACENTER.flows

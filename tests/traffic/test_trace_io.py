@@ -1,0 +1,55 @@
+"""Trace persistence round-trips."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import generate_trace, inject_flood
+from repro.traffic.synth import DATACENTER
+from repro.traffic.trace_io import export_csv, import_csv, load_trace, save_trace
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return generate_trace(DATACENTER, 500, seed=21)
+
+
+class TestNpzRoundTrip:
+    def test_plain_trace(self, trace, tmp_path):
+        path = tmp_path / "trace.npz"
+        save_trace(trace, path)
+        loaded = load_trace(path)
+        assert loaded.src == trace.src
+        assert loaded.dst == trace.dst
+        assert loaded.name == trace.name
+        assert loaded.seed == trace.seed
+
+    def test_flood_trace(self, trace, tmp_path):
+        flood = inject_flood(trace.packets_1d(), seed=1, start_index=100)
+        path = tmp_path / "flood.npz"
+        save_trace(flood, path)
+        loaded = load_trace(path)
+        assert loaded.src == flood.src
+        assert loaded.is_attack == flood.is_attack
+        assert loaded.subnets == flood.subnets
+        assert loaded.start_index == flood.start_index
+        assert loaded.spec == flood.spec
+
+
+class TestCsv:
+    def test_roundtrip(self, trace, tmp_path):
+        path = tmp_path / "trace.csv"
+        export_csv(trace, path)
+        loaded = import_csv(path, name="dc")
+        assert loaded.src == trace.src
+        assert loaded.dst == trace.dst
+        assert loaded.name == "dc"
+
+    def test_flood_flags_written(self, trace, tmp_path):
+        flood = inject_flood(trace.packets_1d(), seed=2, start_index=100)
+        path = tmp_path / "flood.csv"
+        export_csv(flood, path)
+        lines = path.read_text().strip().splitlines()
+        assert lines[0] == "src,dst,is_attack"
+        assert len(lines) == len(flood.src) + 1
+        assert any(line.endswith(",1") for line in lines[1:])
