@@ -60,6 +60,7 @@ def test_batch_size_ablation(benchmark, save):
             rows,
             columns=["strategy", "batch", "measured_rmse", "theory_bound", "tau"],
         ),
+        rows=rows,
     )
     by_strategy = {r["strategy"]: r for r in rows}
     # theory prefers the optimizer's b; the measurement must agree that the

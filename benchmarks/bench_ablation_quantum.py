@@ -54,6 +54,7 @@ def test_overflow_quantum_ablation(benchmark, save):
     save(
         "ablation_quantum",
         format_rows(rows, columns=["tau", "quantum", "sample_block", "rmse"]),
+        rows=rows,
     )
     by_key = {(r["tau"], r["quantum"]): r["rmse"] for r in rows}
     # at tau = 1 the variants coincide exactly

@@ -40,3 +40,20 @@ def test_sampler_throughput(benchmark, stream, sampler, tau):
     # sanity: the sampler actually sampled at ~tau
     expected = tau * N
     assert 0.5 * expected < sketch.full_updates < 2.0 * expected
+
+
+@pytest.mark.parametrize("sampler", ["table", "geometric", "bernoulli"])
+@pytest.mark.parametrize("tau", [2**-2, 2**-8])
+def test_sampler_block_throughput(benchmark, stream, sampler, tau):
+    """The same ablation over ``sample_block`` (the batch engine's path)."""
+
+    def run():
+        sketch = Memento(
+            window=WINDOW, counters=512, tau=tau, sampler=sampler, seed=3
+        )
+        sketch.update_many(stream)
+        return sketch
+
+    sketch = benchmark(run)
+    expected = tau * N
+    assert 0.5 * expected < sketch.full_updates < 2.0 * expected

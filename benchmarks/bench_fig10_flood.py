@@ -15,7 +15,7 @@ from repro.experiments import fig10
 def test_fig10_flood_detection(benchmark, save):
     results = benchmark.pedantic(fig10.run_detailed, rounds=1, iterations=1)
     rows = fig10.summarize(results)
-    save("fig10", fig10.format_table(rows))
+    save("fig10", fig10.format_table(rows), rows=rows)
     # Figures 10a/10b: identification over time
     save("fig10_timeline", fig10.format_timeline(results))
 

@@ -18,7 +18,7 @@ def test_fig1b_detection_curves(benchmark, save):
         rounds=1,
         iterations=1,
     )
-    save("fig1b", fig1b.format_table(rows))
+    save("fig1b", fig1b.format_table(rows), rows=rows)
 
     for row in rows:
         # window detection is optimal at every ratio (Section 3)

@@ -12,7 +12,7 @@ from repro.experiments import fig4
 
 def test_fig4_error_vs_budget(benchmark, save):
     rows = benchmark.pedantic(fig4.run, rounds=1, iterations=1)
-    save("fig4", fig4.format_table(rows))
+    save("fig4", fig4.format_table(rows), rows=rows)
 
     for row in rows:
         # the optimal batch is never worse than either fixed strategy
@@ -27,7 +27,7 @@ def test_fig4_error_vs_budget(benchmark, save):
 
 def test_fig4_worked_example(benchmark, save):
     rows = benchmark.pedantic(fig4.worked_example, rounds=1, iterations=1)
-    save("fig4_worked_example", fig4.format_table(rows))
+    save("fig4_worked_example", fig4.format_table(rows), rows=rows)
 
     by_config = {row["config"]: row for row in rows}
     b1 = by_config["B=1, W=1e6"]

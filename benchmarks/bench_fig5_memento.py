@@ -14,7 +14,7 @@ from repro.experiments import fig5
 
 def test_fig5_speed_and_accuracy_grid(benchmark, save):
     rows = benchmark.pedantic(fig5.run, rounds=1, iterations=1)
-    save("fig5", fig5.format_table(rows))
+    save("fig5", fig5.format_table(rows), rows=rows)
 
     smallest_tau = min(r["tau"] for r in rows)
     for trace in {r["trace"] for r in rows}:

@@ -13,7 +13,7 @@ from repro.experiments import fig6
 
 def test_fig6_speedup_over_baseline(benchmark, save):
     rows = benchmark.pedantic(fig6.run, rounds=1, iterations=1)
-    save("fig6", fig6.format_table(rows))
+    save("fig6", fig6.format_table(rows), rows=rows)
 
     hm = [r for r in rows if r["algorithm"] == "h-memento"]
     # every H-Memento configuration beats the Baseline

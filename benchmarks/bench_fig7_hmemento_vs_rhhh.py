@@ -15,7 +15,7 @@ from repro.experiments import fig7
 
 def test_fig7_throughput_comparison(benchmark, save):
     rows = benchmark.pedantic(fig7.run, rounds=1, iterations=1)
-    save("fig7", fig7.format_table(rows))
+    save("fig7", fig7.format_table(rows), rows=rows)
 
     for dims in (1, 2):
         series = sorted(

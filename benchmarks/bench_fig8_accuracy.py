@@ -13,7 +13,7 @@ from repro.experiments import fig8
 
 def test_fig8_per_prefix_accuracy(benchmark, save):
     rows = benchmark.pedantic(fig8.run, rounds=1, iterations=1)
-    save("fig8", fig8.format_table(rows))
+    save("fig8", fig8.format_table(rows), rows=rows)
 
     for trace in {r["trace"] for r in rows}:
         by_algo = {r["algorithm"]: r for r in rows if r["trace"] == trace}

@@ -13,7 +13,7 @@ from repro.experiments import fig9
 
 def test_fig9_transmission_methods(benchmark, save):
     rows = benchmark.pedantic(fig9.run, rounds=1, iterations=1)
-    save("fig9", fig9.format_table(rows))
+    save("fig9", fig9.format_table(rows), rows=rows)
 
     for trace in {r["trace"] for r in rows}:
         by_method = {r["method"]: r for r in rows if r["trace"] == trace}

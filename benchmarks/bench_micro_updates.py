@@ -1,13 +1,34 @@
-"""Micro-benchmarks of the core update paths (pytest-benchmark native).
+"""Micro-benchmarks of the core update paths: scalar loop vs batch engine.
 
-These complement the figure benches with classic ops/second measurements
-of each sketch's update path under a fixed workload, making per-commit
-performance regressions visible.
+Two entry points share one workload:
+
+* ``pytest benchmarks/bench_micro_updates.py`` — pytest-benchmark tests of
+  each sketch's scalar and batch ingestion, for interactive comparison;
+* ``python benchmarks/bench_micro_updates.py`` — the standalone harness
+  (``repro.bench``) that times every (sketch, path) pair and persists
+  machine-readable results to ``BENCH_micro_updates.json`` at the repo
+  root, so every PR leaves a perf trail.  ``--smoke`` shrinks the
+  workload for CI and skips the speedup gate.
+
+The standalone run enforces the batch engine's contract: ``update_many``
+must reach at least 2× the scalar ops/sec on ``Memento(tau=0.1)`` and on
+``SpaceSaving`` (exit status 1 otherwise).
 """
 
 from __future__ import annotations
 
+import argparse
+import sys
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
 import pytest
+
+try:
+    import repro  # noqa: F401 - probe for an installed package
+except ModuleNotFoundError:  # uninstalled checkout: fall back to src/
+    from pathlib import Path
+
+    sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
 
 from repro import (
     MST,
@@ -19,38 +40,187 @@ from repro import (
     SpaceSaving,
     generate_trace,
 )
+from repro.bench import BenchResult, bench, repo_root, write_results
 from repro.traffic.synth import BACKBONE
 
 WINDOW = 8192
 N = 20_000
+CHUNK = 4096
+
+#: (case name, sketch factory); every case is measured scalar and batched.
+CASES: List[Tuple[str, Callable[[], object]]] = [
+    ("space_saving", lambda: SpaceSaving(512)),
+    ("exact_window", lambda: ExactWindowCounter(WINDOW)),
+    ("memento_tau1", lambda: Memento(window=WINDOW, counters=512, tau=1.0, seed=1)),
+    (
+        "memento_tau0.1",
+        lambda: Memento(window=WINDOW, counters=512, tau=0.1, seed=1),
+    ),
+    (
+        "memento_tau2^-10",
+        lambda: Memento(window=WINDOW, counters=512, tau=2**-10, seed=1),
+    ),
+    (
+        "hmemento_tau0.25",
+        lambda: HMemento(
+            window=WINDOW, hierarchy=SRC_HIERARCHY, counters=512, tau=0.25, seed=1
+        ),
+    ),
+    ("mst", lambda: MST(SRC_HIERARCHY, counters=128)),
+    ("rhhh", lambda: RHHH(SRC_HIERARCHY, counters=128, seed=1)),
+]
+
+#: cases whose batch path must show >= MIN_SPEEDUP in the standalone run
+GATED_CASES = ("memento_tau0.1", "space_saving")
+MIN_SPEEDUP = 2.0
 
 
-@pytest.fixture(scope="module")
-def stream():
-    return generate_trace(BACKBONE, N, seed=99).packets_1d()
+def make_stream(n: int = N) -> list:
+    return generate_trace(BACKBONE, n, seed=99).packets_1d()
 
 
-def _drive(algorithm, stream):
+def drive_scalar(algorithm, stream):
     update = algorithm.update
     for item in stream:
         update(item)
     return algorithm
 
 
+def drive_batch(algorithm, stream, chunk: int = CHUNK):
+    update_many = algorithm.update_many
+    for start in range(0, len(stream), chunk):
+        update_many(stream[start : start + chunk])
+    return algorithm
+
+
+# ----------------------------------------------------------------------
+# standalone harness run (BENCH_micro_updates.json)
+# ----------------------------------------------------------------------
+def run_harness(
+    n: int = N, warmup: int = 1, repeats: int = 3
+) -> Tuple[List[BenchResult], Dict[str, float]]:
+    """Time every (case, path) pair; return results and per-case speedups."""
+    stream = make_stream(n)
+    results: List[BenchResult] = []
+    speedups: Dict[str, float] = {}
+    for name, factory in CASES:
+        scalar = bench(
+            lambda: drive_scalar(factory(), stream),
+            name=f"{name}/scalar",
+            ops=n,
+            warmup=warmup,
+            repeats=repeats,
+            metadata={"path": "scalar", "case": name},
+        )
+        batch = bench(
+            lambda: drive_batch(factory(), stream),
+            name=f"{name}/batch",
+            ops=n,
+            warmup=warmup,
+            repeats=repeats,
+            metadata={"path": "batch", "case": name, "chunk": CHUNK},
+        )
+        results.extend((scalar, batch))
+        speedups[name] = batch.ops_per_sec / scalar.ops_per_sec
+    return results, speedups
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="small workload for CI: fewer packets, no speedup gate",
+    )
+    parser.add_argument(
+        "--out",
+        default=None,
+        help="output JSON path (default: BENCH_micro_updates.json at repo root)",
+    )
+    args = parser.parse_args(argv)
+    n = 4_000 if args.smoke else N
+    # best-of-5 keeps the gate stable against scheduler noise
+    repeats = 1 if args.smoke else 5
+    results, speedups = run_harness(
+        n=n, warmup=0 if args.smoke else 1, repeats=repeats
+    )
+
+    out = args.out or (repo_root() / "BENCH_micro_updates.json")
+    write_results(
+        out,
+        results,
+        extra={
+            "workload": {"packets": n, "window": WINDOW, "chunk": CHUNK},
+            "speedups": speedups,
+            "smoke": args.smoke,
+        },
+    )
+
+    width = max(len(name) for name, _ in CASES)
+    print(f"{'case'.ljust(width)}  {'scalar ops/s':>14}  {'batch ops/s':>14}  speedup")
+    by_name = {r.name: r for r in results}
+    for name, _ in CASES:
+        scalar = by_name[f"{name}/scalar"]
+        batch = by_name[f"{name}/batch"]
+        print(
+            f"{name.ljust(width)}  {scalar.ops_per_sec:>14,.0f}  "
+            f"{batch.ops_per_sec:>14,.0f}  {speedups[name]:>6.2f}x"
+        )
+    print(f"results -> {out}")
+
+    if not args.smoke:
+        failures = [name for name in GATED_CASES if speedups[name] < MIN_SPEEDUP]
+        if failures:
+            print(
+                f"FAIL: batch path below {MIN_SPEEDUP}x on: {', '.join(failures)}",
+                file=sys.stderr,
+            )
+            return 1
+    return 0
+
+
+# ----------------------------------------------------------------------
+# pytest-benchmark entry points
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def stream():
+    return make_stream()
+
+
 def test_space_saving_update(benchmark, stream):
-    result = benchmark(lambda: _drive(SpaceSaving(512), stream))
+    result = benchmark(lambda: drive_scalar(SpaceSaving(512), stream))
+    assert result.processed == N
+
+
+def test_space_saving_update_many(benchmark, stream):
+    result = benchmark(lambda: drive_batch(SpaceSaving(512), stream))
     assert result.processed == N
 
 
 def test_exact_window_update(benchmark, stream):
-    result = benchmark(lambda: _drive(ExactWindowCounter(WINDOW), stream))
+    result = benchmark(lambda: drive_scalar(ExactWindowCounter(WINDOW), stream))
+    assert result.size == WINDOW
+
+
+def test_exact_window_update_many(benchmark, stream):
+    result = benchmark(lambda: drive_batch(ExactWindowCounter(WINDOW), stream))
     assert result.size == WINDOW
 
 
 @pytest.mark.parametrize("tau", [1.0, 2**-4, 2**-10])
 def test_memento_update(benchmark, stream, tau):
     result = benchmark(
-        lambda: _drive(
+        lambda: drive_scalar(
+            Memento(window=WINDOW, counters=512, tau=tau, seed=1), stream
+        )
+    )
+    assert result.updates == N
+
+
+@pytest.mark.parametrize("tau", [1.0, 2**-4, 2**-10])
+def test_memento_update_many(benchmark, stream, tau):
+    result = benchmark(
+        lambda: drive_batch(
             Memento(window=WINDOW, counters=512, tau=tau, seed=1), stream
         )
     )
@@ -59,7 +229,23 @@ def test_memento_update(benchmark, stream, tau):
 
 def test_hmemento_update(benchmark, stream):
     result = benchmark(
-        lambda: _drive(
+        lambda: drive_scalar(
+            HMemento(
+                window=WINDOW,
+                hierarchy=SRC_HIERARCHY,
+                counters=512,
+                tau=0.25,
+                seed=1,
+            ),
+            stream,
+        )
+    )
+    assert result.updates == N
+
+
+def test_hmemento_update_many(benchmark, stream):
+    result = benchmark(
+        lambda: drive_batch(
             HMemento(
                 window=WINDOW,
                 hierarchy=SRC_HIERARCHY,
@@ -74,19 +260,35 @@ def test_hmemento_update(benchmark, stream):
 
 
 def test_mst_update(benchmark, stream):
-    result = benchmark(lambda: _drive(MST(SRC_HIERARCHY, counters=128), stream))
+    result = benchmark(
+        lambda: drive_scalar(MST(SRC_HIERARCHY, counters=128), stream)
+    )
+    assert result.packets == N
+
+
+def test_mst_update_many(benchmark, stream):
+    result = benchmark(lambda: drive_batch(MST(SRC_HIERARCHY, counters=128), stream))
     assert result.packets == N
 
 
 def test_rhhh_update(benchmark, stream):
     result = benchmark(
-        lambda: _drive(RHHH(SRC_HIERARCHY, counters=128, seed=1), stream)
+        lambda: drive_scalar(RHHH(SRC_HIERARCHY, counters=128, seed=1), stream)
+    )
+    assert result.packets == N
+
+
+def test_rhhh_update_many(benchmark, stream):
+    result = benchmark(
+        lambda: drive_batch(RHHH(SRC_HIERARCHY, counters=128, seed=1), stream)
     )
     assert result.packets == N
 
 
 def test_memento_query(benchmark, stream):
-    sketch = _drive(Memento(window=WINDOW, counters=512, tau=1.0, seed=1), stream)
+    sketch = drive_scalar(
+        Memento(window=WINDOW, counters=512, tau=1.0, seed=1), stream
+    )
     keys = stream[:512]
 
     def run_queries():
@@ -96,3 +298,7 @@ def test_memento_query(benchmark, stream):
         return total
 
     assert benchmark(run_queries) > 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

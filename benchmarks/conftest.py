@@ -3,8 +3,11 @@
 from __future__ import annotations
 
 from pathlib import Path
+from typing import Dict, Optional, Sequence
 
 import pytest
+
+from repro.bench import write_table
 
 
 @pytest.fixture(scope="session")
@@ -15,17 +18,29 @@ def results_dir() -> Path:
     return path
 
 
-def save_table(results_dir: Path, name: str, table: str) -> None:
-    """Persist a rendered table and echo it for -s runs."""
+def save_table(
+    results_dir: Path,
+    name: str,
+    table: str,
+    rows: Optional[Sequence[Dict[str, object]]] = None,
+) -> None:
+    """Persist a rendered table (and its JSON twin) and echo for -s runs."""
     (results_dir / f"{name}.txt").write_text(table + "\n")
+    if rows is not None:
+        write_table(results_dir / f"{name}.json", rows)
     print(f"\n[{name}]\n{table}")
 
 
 @pytest.fixture(scope="session")
 def save(results_dir):
-    """Callable fixture: ``save('fig5', table_str)``."""
+    """Callable fixture: ``save('fig5', table_str, rows=rows)``.
 
-    def _save(name: str, table: str) -> None:
-        save_table(results_dir, name, table)
+    ``rows`` (the driver's raw data rows) additionally persists a
+    machine-readable ``<name>.json`` through :mod:`repro.bench`, so the
+    perf/accuracy trajectory is diffable across PRs.
+    """
+
+    def _save(name: str, table: str, rows=None) -> None:
+        save_table(results_dir, name, table, rows=rows)
 
     return _save

@@ -116,11 +116,15 @@ def _detect_once(
     def background() -> int:
         return int(rng.integers(0, background_flows))
 
+    def background_block(count: int) -> list:
+        # one vectorized draw; consumes the RNG exactly like ``count``
+        # scalar ``integers`` calls, so trials are seed-for-seed identical
+        return rng.integers(0, background_flows, size=count).tolist()
+
     if method == "window":
         counter = ExactWindowCounter(window)
         # warm up so the window is full of background when the flow appears
-        for _ in range(window + offset):
-            counter.update(background())
+        counter.update_many(background_block(window + offset))
         t = 0
         while True:
             t += 1
@@ -129,8 +133,7 @@ def _detect_once(
                 return t
 
     counter = ExactIntervalCounter(window)
-    for _ in range(offset):
-        counter.update(background())
+    counter.update_many(background_block(offset))
     t = 0
     while True:
         t += 1

@@ -1,0 +1,31 @@
+"""Benchmark harness: timing, ops/sec accounting, and JSON persistence.
+
+Every ``benchmarks/bench_*`` script records its results through this
+package so each PR leaves a machine-readable perf trail (the
+``BENCH_*.json`` files at the repo root and the per-bench JSON next to the
+rendered tables under ``benchmarks/results/``).
+"""
+
+from .harness import (
+    BENCH_SCHEMA,
+    TABLE_SCHEMA,
+    BenchResult,
+    bench,
+    load_results,
+    repo_root,
+    validate_results,
+    write_results,
+    write_table,
+)
+
+__all__ = [
+    "BENCH_SCHEMA",
+    "TABLE_SCHEMA",
+    "BenchResult",
+    "bench",
+    "load_results",
+    "repo_root",
+    "validate_results",
+    "write_results",
+    "write_table",
+]

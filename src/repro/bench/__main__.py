@@ -1,0 +1,6 @@
+"""``python -m repro.bench`` — the harness CLI (schema validation)."""
+
+from .harness import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

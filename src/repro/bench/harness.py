@@ -1,0 +1,244 @@
+"""Timing harness and machine-readable result persistence for benches.
+
+The pieces, in the order a bench script uses them:
+
+* :func:`bench` — run a callable with warmup and repeats, returning a
+  :class:`BenchResult` with ops/sec computed from the best repeat (the
+  standard micro-benchmark estimator: the minimum is the least noisy
+  observation of the true cost).
+* :func:`write_results` — persist a list of results as JSON under the
+  ``repro-bench/1`` schema, so successive PRs accumulate a comparable
+  perf trajectory (``BENCH_*.json`` at the repo root).
+* :func:`validate_results` / :func:`load_results` — schema checks used by
+  CI's smoke job and by tests.
+
+The module is also runnable::
+
+    python -m repro.bench.harness --validate BENCH_micro_updates.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Union
+
+__all__ = [
+    "BENCH_SCHEMA",
+    "BenchResult",
+    "bench",
+    "write_results",
+    "load_results",
+    "validate_results",
+    "repo_root",
+]
+
+#: Schema tag stamped into every persisted timing-result file.
+BENCH_SCHEMA = "repro-bench/1"
+
+#: Schema tag for persisted figure/table data rows.
+TABLE_SCHEMA = "repro-table/1"
+
+
+@dataclass(frozen=True)
+class BenchResult:
+    """One timed measurement: ``ops`` operations in ``seconds`` (best of
+    ``repeats`` timed runs; ``mean_seconds`` averages all of them)."""
+
+    name: str
+    ops: int
+    seconds: float
+    mean_seconds: float
+    repeats: int
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def ops_per_sec(self) -> float:
+        """Throughput from the best (minimum-time) repeat."""
+        if self.seconds <= 0:
+            return float("inf")
+        return self.ops / self.seconds
+
+    def row(self) -> Dict[str, object]:
+        """The JSON row persisted for this measurement."""
+        out = asdict(self)
+        out["ops_per_sec"] = self.ops_per_sec
+        return out
+
+
+def bench(
+    fn: Callable[[], object],
+    *,
+    name: str,
+    ops: int,
+    warmup: int = 1,
+    repeats: int = 3,
+    metadata: Optional[Dict[str, object]] = None,
+) -> BenchResult:
+    """Time ``fn`` (a zero-arg callable performing ``ops`` operations).
+
+    ``fn`` runs ``warmup`` untimed times (JIT-free Python still benefits:
+    allocator warmup, dict resizing, branch caches), then ``repeats``
+    timed times; the best repeat defines ops/sec.
+    """
+    if ops <= 0:
+        raise ValueError(f"ops must be positive, got {ops}")
+    if repeats <= 0:
+        raise ValueError(f"repeats must be positive, got {repeats}")
+    if warmup < 0:
+        raise ValueError(f"warmup must be non-negative, got {warmup}")
+    for _ in range(warmup):
+        fn()
+    timings: List[float] = []
+    perf_counter = time.perf_counter
+    for _ in range(repeats):
+        start = perf_counter()
+        fn()
+        timings.append(perf_counter() - start)
+    return BenchResult(
+        name=name,
+        ops=ops,
+        seconds=min(timings),
+        mean_seconds=sum(timings) / len(timings),
+        repeats=repeats,
+        metadata=dict(metadata or {}),
+    )
+
+
+def repo_root(start: Optional[Path] = None) -> Path:
+    """Locate the repository root (the directory holding ``pyproject.toml``
+    or ``.git``), searching upward from ``start`` (default: this file),
+    falling back to the current working directory."""
+    candidates = [start] if start is not None else [Path(__file__), Path.cwd()]
+    for candidate in candidates:
+        node = candidate.resolve()
+        for parent in [node, *node.parents]:
+            if (parent / "pyproject.toml").exists() or (parent / ".git").exists():
+                return parent
+    return Path.cwd()
+
+
+def write_results(
+    path: Union[str, Path],
+    results: Sequence[BenchResult],
+    extra: Optional[Dict[str, object]] = None,
+) -> Path:
+    """Persist ``results`` (plus optional ``extra`` summary data) as JSON."""
+    path = Path(path)
+    payload: Dict[str, object] = {
+        "schema": BENCH_SCHEMA,
+        "created_unix": time.time(),
+        "python": sys.version.split()[0],
+        "platform": platform.platform(),
+        "results": [r.row() for r in results],
+    }
+    if extra:
+        payload["extra"] = dict(extra)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_suffix(path.suffix + ".tmp")
+    tmp.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    tmp.replace(path)
+    return path
+
+
+def write_table(
+    path: Union[str, Path],
+    rows: Sequence[Dict[str, object]],
+    extra: Optional[Dict[str, object]] = None,
+) -> Path:
+    """Persist a figure bench's data rows as machine-readable JSON.
+
+    The rendered text tables under ``benchmarks/results/`` are for humans;
+    this JSON twin lets successive PRs diff accuracy/speed numbers
+    programmatically.
+    """
+    path = Path(path)
+    payload: Dict[str, object] = {
+        "schema": TABLE_SCHEMA,
+        "created_unix": time.time(),
+        "rows": list(rows),
+    }
+    if extra:
+        payload["extra"] = dict(extra)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_suffix(path.suffix + ".tmp")
+    tmp.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    tmp.replace(path)
+    return path
+
+
+def load_results(path: Union[str, Path]) -> Dict[str, object]:
+    """Read a persisted result file back as a dict."""
+    return json.loads(Path(path).read_text())
+
+
+def validate_results(payload: Union[str, Path, Dict[str, object]]) -> List[str]:
+    """Check a result payload against the ``repro-bench/1`` schema.
+
+    Accepts a path or an already-loaded dict; returns a list of problems
+    (empty when the payload is valid).
+    """
+    if not isinstance(payload, dict):
+        try:
+            payload = load_results(payload)
+        except (OSError, json.JSONDecodeError) as exc:
+            return [f"unreadable results file: {exc}"]
+    problems: List[str] = []
+    if payload.get("schema") != BENCH_SCHEMA:
+        problems.append(
+            f"schema mismatch: expected {BENCH_SCHEMA!r}, "
+            f"got {payload.get('schema')!r}"
+        )
+    results = payload.get("results")
+    if not isinstance(results, list) or not results:
+        problems.append("results must be a non-empty list")
+        return problems
+    for idx, row in enumerate(results):
+        where = f"results[{idx}]"
+        if not isinstance(row, dict):
+            problems.append(f"{where}: not an object")
+            continue
+        if not isinstance(row.get("name"), str) or not row["name"]:
+            problems.append(f"{where}: missing name")
+        for key in ("ops", "repeats"):
+            value = row.get(key)
+            if not isinstance(value, int) or value <= 0:
+                problems.append(f"{where}: {key} must be a positive int")
+        for key in ("seconds", "mean_seconds", "ops_per_sec"):
+            value = row.get(key)
+            if not isinstance(value, (int, float)) or value <= 0:
+                problems.append(f"{where}: {key} must be a positive number")
+    return problems
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point: ``--validate`` one or more result files."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--validate",
+        nargs="+",
+        metavar="FILE",
+        required=True,
+        help="result files to check against the repro-bench/1 schema",
+    )
+    args = parser.parse_args(argv)
+    status = 0
+    for path in args.validate:
+        problems = validate_results(path)
+        if problems:
+            status = 1
+            for problem in problems:
+                print(f"{path}: {problem}", file=sys.stderr)
+        else:
+            payload = load_results(path)
+            print(f"{path}: OK ({len(payload['results'])} results)")
+    return status
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CI smoke
+    raise SystemExit(main())

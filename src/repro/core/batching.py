@@ -1,0 +1,41 @@
+"""Shared plumbing for the batch ingestion engine.
+
+Small helpers used by every sketch's batch entry points, so the chunking
+and per-pattern regrouping logic exists exactly once.
+"""
+
+from __future__ import annotations
+
+from itertools import islice
+from typing import Iterable, Iterator, List
+
+__all__ = ["iter_chunks", "regroup_by_pattern"]
+
+
+def iter_chunks(iterable: Iterable, chunk_size: int) -> Iterator[list]:
+    """Yield ``chunk_size``-item lists from any iterable (last may be short).
+
+    Backs every sketch's ``extend``: consumes the source incrementally so
+    generator streams never materialize in full.
+    """
+    if chunk_size <= 0:
+        raise ValueError(f"chunk_size must be positive, got {chunk_size}")
+    it = iter(iterable)
+    while chunk := list(islice(it, chunk_size)):
+        yield chunk
+
+
+def regroup_by_pattern(hierarchy, packets, num_patterns: int) -> List[list]:
+    """Split a packet batch into one in-order prefix list per pattern.
+
+    The per-pattern heavy-hitter instances (MST, WindowBaseline,
+    ExactWindowHHH) are independent, so work may be reordered *across*
+    patterns as long as order *within* each pattern is preserved — which
+    this does, enabling one batched update per instance.
+    """
+    per_pattern: List[list] = [[] for _ in range(num_patterns)]
+    all_prefixes = hierarchy.all_prefixes
+    for packet in packets:
+        for idx, prefix in enumerate(all_prefixes(packet)):
+            per_pattern[idx].append(prefix)
+    return per_pattern

@@ -20,7 +20,9 @@ the reason approximate algorithms exist.
 from __future__ import annotations
 
 from collections import Counter
-from typing import Dict, Hashable, Iterable, Iterator, List, Optional, Tuple
+from typing import Dict, Hashable, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from .batching import regroup_by_pattern
 
 __all__ = [
     "ExactWindowCounter",
@@ -75,6 +77,32 @@ class ExactWindowCounter:
             self._pos = 0
         self._counts[item] = self._counts.get(item, 0) + 1
         self._total += 1
+
+    def update_many(self, items: Sequence[Hashable]) -> None:
+        """Append a batch of items; identical to ``update`` per item but
+        with the ring/count bookkeeping hoisted to locals."""
+        if not isinstance(items, (list, tuple)):
+            items = list(items)
+        counts = self._counts
+        counts_get = counts.get
+        ring = self._ring
+        window = self.window
+        pos = self._pos
+        for item in items:
+            old = ring[pos]
+            if old is not None:
+                remaining = counts[old] - 1
+                if remaining:
+                    counts[old] = remaining
+                else:
+                    del counts[old]
+            ring[pos] = item
+            pos += 1
+            if pos == window:
+                pos = 0
+            counts[item] = counts_get(item, 0) + 1
+        self._pos = pos
+        self._total += len(items)
 
     def query(self, item: Hashable) -> int:
         """Return the exact frequency of ``item`` in the current window."""
@@ -143,6 +171,24 @@ class ExactIntervalCounter:
             self._in_interval = 0
             self._intervals += 1
 
+    def update_many(self, items: Sequence[Hashable]) -> None:
+        """Count a batch; interval rolls happen at the same stream offsets
+        as the scalar loop, with each segment counted at C speed."""
+        if not isinstance(items, (list, tuple)):
+            items = list(items)
+        n = len(items)
+        i = 0
+        while i < n:
+            take = min(n - i, self.interval - self._in_interval)
+            self._counts.update(items[i : i + take])
+            self._in_interval += take
+            i += take
+            if self._in_interval == self.interval:
+                self._last = self._counts
+                self._counts = Counter()
+                self._in_interval = 0
+                self._intervals += 1
+
     def query(self, item: Hashable) -> int:
         """Improved-Interval estimate: count within the running interval."""
         return self._counts[item]
@@ -200,6 +246,18 @@ class ExactWindowHHH:
         """Feed one packet; all ``H`` generalizations are counted."""
         for idx, prefix in enumerate(self.hierarchy.all_prefixes(packet)):
             self._counters[idx].update(prefix)
+
+    def update_many(self, packets: Sequence) -> None:
+        """Feed a batch: per-pattern regrouping over the counters'
+        ``update_many`` (the patterns are independent)."""
+        if not isinstance(packets, (list, tuple)):
+            packets = list(packets)
+        per_pattern = regroup_by_pattern(
+            self.hierarchy, packets, len(self._counters)
+        )
+        for counter, prefixes in zip(self._counters, per_pattern):
+            if prefixes:
+                counter.update_many(prefixes)
 
     def query(self, prefix) -> int:
         """Exact window frequency of ``prefix`` (0 if never seen)."""

@@ -26,7 +26,10 @@ from __future__ import annotations
 
 import math
 import warnings
-from typing import Dict, Hashable, Iterable, Optional, Set
+from itertools import compress
+from typing import Dict, Hashable, Iterable, Optional, Sequence, Set
+
+from .batching import iter_chunks
 
 import numpy as np
 
@@ -34,7 +37,7 @@ from ..analysis.error_model import z_quantile
 from ..hierarchy.domain import Hierarchy
 from ..hierarchy.hhh_output import compute_hhh
 from .memento import Memento
-from .sampling import make_sampler
+from .sampling import draw_decisions, make_sampler
 
 __all__ = ["HMemento"]
 
@@ -163,6 +166,42 @@ class HMemento:
         else:
             self._memento.window_update()
 
+    def update_many(self, packets: Sequence) -> None:
+        """Process a batch of packets through the block-sampled fast path.
+
+        Byte-identical to the scalar :meth:`update` loop under a fixed
+        seed: decisions come from ``sample_block`` (same RNG consumption),
+        pattern draws happen in arrival order, runs of unsampled packets
+        collapse into the shared Memento's ``ingest_gap`` arithmetic.
+        """
+        if not isinstance(packets, (list, tuple)):
+            packets = list(packets)
+        n = len(packets)
+        if n == 0:
+            return
+        self._updates += n
+        decisions = draw_decisions(self._sampler, n)
+        memento = self._memento
+        ingest_gap = memento.ingest_gap
+        full_update = memento.full_update
+        next_pattern = self._next_pattern
+        prefix_at = self.hierarchy.prefix_at
+        prev = -1
+        for i in compress(range(n), decisions):
+            gap = i - prev - 1
+            if gap:
+                ingest_gap(gap)
+            full_update(prefix_at(packets[i], next_pattern()))
+            prev = i
+        tail = n - 1 - prev
+        if tail:
+            ingest_gap(tail)
+
+    def extend(self, iterable: Iterable, chunk_size: int = 4096) -> None:
+        """Feed an arbitrary iterable through :meth:`update_many` in chunks."""
+        for chunk in iter_chunks(iterable, chunk_size):
+            self.update_many(chunk)
+
     def ingest_sample(self, packet) -> None:
         """Feed an externally-sampled packet (network-wide controller path).
 
@@ -173,6 +212,17 @@ class HMemento:
         self._updates += 1
         pattern = self._next_pattern()
         self._memento.full_update(self.hierarchy.prefix_at(packet, pattern))
+
+    def ingest_samples(self, packets: Sequence) -> None:
+        """Batch form of :meth:`ingest_sample`: one Full update per packet."""
+        if not isinstance(packets, (list, tuple)):
+            packets = list(packets)
+        self._updates += len(packets)
+        next_pattern = self._next_pattern
+        prefix_at = self.hierarchy.prefix_at
+        self._memento.full_update_many(
+            [prefix_at(packet, next_pattern()) for packet in packets]
+        )
 
     def ingest_gap(self, count: int) -> None:
         """Advance the window for ``count`` unsampled packets."""

@@ -44,12 +44,26 @@ from __future__ import annotations
 
 import math
 from collections import deque
-from typing import Deque, Dict, Hashable, Iterator, Optional
+from itertools import compress
+from typing import Deque, Dict, Hashable, Iterable, Iterator, Optional, Sequence
 
-from .sampling import make_sampler
+from .batching import iter_chunks
+
+from .sampling import (
+    BernoulliSampler,
+    GeometricSampler,
+    TableSampler,
+    draw_decisions,
+    make_sampler,
+)
 from .space_saving import SpaceSaving
 
 __all__ = ["Memento", "WCSS"]
+
+#: samplers whose ``should_sample`` is always True (no randomness drawn)
+#: once their ``tau`` reaches 1 — the only safe targets for the WCSS
+#: batch shortcut that skips decision drawing entirely
+_ALWAYS_SAMPLE_AT_TAU1 = (TableSampler, GeometricSampler, BernoulliSampler)
 
 
 class Memento:
@@ -198,12 +212,206 @@ class Memento:
             offsets = self._offsets
             offsets[item] = offsets.get(item, 0) + 1
 
+    def full_update_many(self, items: Sequence[Hashable]) -> None:
+        """Perform one Full update per item through a hoisted block loop.
+
+        Equivalent to calling :meth:`full_update` once per item, but the
+        window-slide bookkeeping runs on locals (the ``ingest_gap``
+        countdown trick generalized to the full update path): the
+        countdown, block index, and queue handles only touch ``self`` at
+        block boundaries and once at the end of the batch.
+        """
+        if not isinstance(items, (list, tuple)):
+            items = list(items)
+        y = self._y
+        y_add_query = y.add_query
+        y_flush = y.flush
+        offsets = self._offsets
+        offsets_get = offsets.get
+        queues = self._queues
+        quantum = self.sample_block
+        block_size = self.block_size
+        k = self.k
+        countdown = self._countdown
+        blocks = self._blocks_into_frame
+        newest = self._newest
+        drain = self._drain
+        for item in items:
+            countdown -= 1
+            if countdown == 0:
+                blocks += 1
+                if blocks == k:
+                    blocks = 0
+                    y_flush()
+                queues.popleft()
+                newest = deque()
+                queues.append(newest)
+                drain = queues[0]
+                countdown = block_size
+            if drain:
+                old_id = drain.popleft()
+                remaining = offsets[old_id] - 1
+                if remaining:
+                    offsets[old_id] = remaining
+                else:
+                    del offsets[old_id]
+            if y_add_query(item) % quantum == 0:  # overflow
+                newest.append(item)
+                offsets[item] = offsets_get(item, 0) + 1
+        self._countdown = countdown
+        self._blocks_into_frame = blocks
+        self._newest = newest
+        self._drain = drain
+        self._updates += len(items)
+        self._full_updates += len(items)
+
     def update(self, item: Hashable) -> None:
         """Process one packet: Full update w.p. ``tau``, else Window update."""
         if self._should_sample():
             self.full_update(item)
         else:
             self.window_update()
+
+    def update_many(self, items: Sequence[Hashable]) -> None:
+        """Process a batch of packets through the block-sampled fast path.
+
+        State after ``update_many(items)`` is identical to calling
+        :meth:`update` once per item under the same seed: the sampler's
+        decisions are pre-drawn with ``sample_block`` (which consumes the
+        RNG exactly as the scalar calls would), runs of unsampled packets
+        collapse into :meth:`ingest_gap` arithmetic, and sampled packets
+        take the hoisted Full-update path.
+        """
+        if not isinstance(items, (list, tuple)):
+            items = list(items)
+        n = len(items)
+        if n == 0:
+            return
+        sampler = self._sampler
+        if (
+            self.tau >= 1.0
+            and isinstance(sampler, _ALWAYS_SAMPLE_AT_TAU1)
+            and sampler.tau >= 1.0
+        ):
+            # genuine WCSS: the random builtin samplers at tau >= 1 return
+            # True without consuming randomness, so the decisions can be
+            # skipped outright.  Any other sampler (FixedSampler scripting
+            # skips, custom objects) is honoured via the general path.
+            self.full_update_many(items)
+            return
+        decisions = draw_decisions(sampler, n)
+        # The whole mixed stream runs on locals: gaps collapse into counter
+        # arithmetic (the ingest_gap trick), boundary rotations and drain
+        # pops are rare, and the sampled packets take an inlined Full
+        # update — no per-packet method calls anywhere.
+        y = self._y
+        y_add_query = y.add_query
+        y_flush = y.flush
+        offsets = self._offsets
+        offsets_get = offsets.get
+        queues = self._queues
+        quantum = self.sample_block
+        block_size = self.block_size
+        k = self.k
+        countdown = self._countdown
+        blocks = self._blocks_into_frame
+        newest = self._newest
+        drain = self._drain
+        updates = self._updates
+        full = 0
+        prev = -1
+        # compress() iterates the sampled positions at C speed; the gaps
+        # between them never touch Python per-packet
+        for i in compress(range(n), decisions):
+            gap = i - prev - 1
+            prev = i
+            while gap:
+                if drain:
+                    steps = countdown - 1
+                    if steps > gap:
+                        steps = gap
+                    if steps > len(drain):
+                        steps = len(drain)
+                    if steps:
+                        for _ in range(steps):
+                            old_id = drain.popleft()
+                            remaining = offsets[old_id] - 1
+                            if remaining:
+                                offsets[old_id] = remaining
+                            else:
+                                del offsets[old_id]
+                        countdown -= steps
+                        updates += steps
+                        gap -= steps
+                        continue
+                    # countdown == 1: fall through to the boundary step
+                elif gap < countdown:
+                    countdown -= gap
+                    updates += gap
+                    break
+                else:
+                    # free-run to just before the boundary, then step once
+                    updates += countdown - 1
+                    gap -= countdown - 1
+                    countdown = 1
+                # single window step across the block boundary
+                updates += 1
+                gap -= 1
+                blocks += 1
+                if blocks == k:
+                    blocks = 0
+                    y_flush()
+                queues.popleft()
+                newest = deque()
+                queues.append(newest)
+                drain = queues[0]
+                countdown = block_size
+                if drain:
+                    old_id = drain.popleft()
+                    remaining = offsets[old_id] - 1
+                    if remaining:
+                        offsets[old_id] = remaining
+                    else:
+                        del offsets[old_id]
+            # inlined Full update for the sampled packet
+            updates += 1
+            full += 1
+            countdown -= 1
+            if countdown == 0:
+                blocks += 1
+                if blocks == k:
+                    blocks = 0
+                    y_flush()
+                queues.popleft()
+                newest = deque()
+                queues.append(newest)
+                drain = queues[0]
+                countdown = block_size
+            if drain:
+                old_id = drain.popleft()
+                remaining = offsets[old_id] - 1
+                if remaining:
+                    offsets[old_id] = remaining
+                else:
+                    del offsets[old_id]
+            if y_add_query(item := items[i]) % quantum == 0:  # overflow
+                newest.append(item)
+                offsets[item] = offsets_get(item, 0) + 1
+        # trailing gap after the last sampled packet
+        self._countdown = countdown
+        self._blocks_into_frame = blocks
+        self._newest = newest
+        self._drain = drain
+        self._updates = updates
+        self._full_updates += full
+        tail = n - 1 - prev
+        if tail:
+            self.ingest_gap(tail)
+
+    def extend(self, iterable: Iterable[Hashable], chunk_size: int = 4096) -> None:
+        """Feed an arbitrary iterable through :meth:`update_many` in chunks."""
+        for chunk in iter_chunks(iterable, chunk_size):
+            self.update_many(chunk)
 
     def ingest_sample(self, item: Hashable) -> None:
         """Feed an externally-sampled packet (network-wide controller path).
@@ -215,21 +423,48 @@ class Memento:
         """
         self.full_update(item)
 
+    def ingest_samples(self, items: Sequence[Hashable]) -> None:
+        """Batch form of :meth:`ingest_sample`: one Full update per item."""
+        self.full_update_many(items)
+
     def ingest_gap(self, count: int) -> None:
         """Advance the window for ``count`` unsampled (unreported) packets.
 
         Semantically identical to ``count`` Window updates, but batches the
         stretches where no expiry work is pending (empty drain queue, no
-        block boundary) into O(1) counter arithmetic — the controller path
+        block boundary) into O(1) counter arithmetic, and drains pending
+        overflow expiries in bulk between boundaries — the controller path
         advances the window for every unreported packet, so this is its
         hot loop.
         """
         if count < 0:
             raise ValueError(f"count must be non-negative, got {count}")
+        offsets = self._offsets
         while count > 0:
-            if self._drain:
-                self.window_update()
-                count -= 1
+            drain = self._drain
+            if drain:
+                # bulk-drain up to the next block boundary: each of these
+                # steps expires exactly one overflow and cannot rotate
+                steps = self._countdown - 1
+                if steps > count:
+                    steps = count
+                if steps > len(drain):
+                    steps = len(drain)
+                if steps > 0:
+                    popleft = drain.popleft
+                    for _ in range(steps):
+                        old_id = popleft()
+                        remaining = offsets[old_id] - 1
+                        if remaining:
+                            offsets[old_id] = remaining
+                        else:
+                            del offsets[old_id]
+                    self._countdown -= steps
+                    self._updates += steps
+                    count -= steps
+                else:  # countdown == 1: the boundary step rotates queues
+                    self.window_update()
+                    count -= 1
                 continue
             remaining = self._countdown
             if count < remaining:

@@ -21,10 +21,11 @@ algorithms are deterministic).
 from __future__ import annotations
 
 import math
-from typing import Dict, Hashable, Iterable, List, Optional, Set
+from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Set
 
 from ..hierarchy.domain import Hierarchy
 from ..hierarchy.hhh_output import compute_hhh
+from .batching import iter_chunks, regroup_by_pattern
 from .memento import Memento
 from .space_saving import SpaceSaving
 
@@ -72,6 +73,29 @@ class MST:
         instances = self._instances
         for idx, prefix in enumerate(self.hierarchy.all_prefixes(packet)):
             instances[idx].add(prefix)
+
+    def update_many(self, packets: Sequence) -> None:
+        """Batch update: regroup the batch per pattern, then feed each
+        instance its prefix stream through ``SpaceSaving.update_many``.
+
+        The per-pattern instances are independent, so reordering work
+        *across* patterns (while preserving order *within* each) leaves
+        every instance byte-identical to the scalar loop.
+        """
+        if not isinstance(packets, (list, tuple)):
+            packets = list(packets)
+        self._packets += len(packets)
+        per_pattern = regroup_by_pattern(
+            self.hierarchy, packets, len(self._instances)
+        )
+        for instance, prefixes in zip(self._instances, per_pattern):
+            if prefixes:
+                instance.update_many(prefixes)
+
+    def extend(self, iterable: Iterable, chunk_size: int = 4096) -> None:
+        """Feed an arbitrary iterable through :meth:`update_many` in chunks."""
+        for chunk in iter_chunks(iterable, chunk_size):
+            self.update_many(chunk)
 
     def query(self, prefix) -> float:
         """Upper-bound estimate of the prefix count since the last reset."""
@@ -164,6 +188,28 @@ class WindowBaseline:
         instances = self._instances
         for idx, prefix in enumerate(self.hierarchy.all_prefixes(packet)):
             instances[idx].full_update(prefix)
+
+    def update_many(self, packets: Sequence) -> None:
+        """Batch update: per-pattern regrouping over ``full_update_many``.
+
+        As with :meth:`MST.update_many`, the window instances are
+        independent, so each receives its in-order prefix stream through
+        the hoisted Memento block path.
+        """
+        if not isinstance(packets, (list, tuple)):
+            packets = list(packets)
+        self._packets += len(packets)
+        per_pattern = regroup_by_pattern(
+            self.hierarchy, packets, len(self._instances)
+        )
+        for instance, prefixes in zip(self._instances, per_pattern):
+            if prefixes:
+                instance.full_update_many(prefixes)
+
+    def extend(self, iterable: Iterable, chunk_size: int = 4096) -> None:
+        """Feed an arbitrary iterable through :meth:`update_many` in chunks."""
+        for chunk in iter_chunks(iterable, chunk_size):
+            self.update_many(chunk)
 
     def query(self, prefix) -> float:
         """Upper-bound window frequency estimate for ``prefix``."""

@@ -22,7 +22,10 @@ matter for the reproduction:
 from __future__ import annotations
 
 import math
-from typing import Dict, Hashable, Iterable, List, Optional, Set
+from itertools import compress
+from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Set
+
+from .batching import iter_chunks
 
 import numpy as np
 
@@ -119,6 +122,39 @@ class RHHH:
         pattern = self._next_pattern()
         prefix = self.hierarchy.prefix_at(packet, pattern)
         self._instances[pattern].add(prefix)
+
+    def update_many(self, packets: Sequence) -> None:
+        """Batch update: pre-draw the skip decisions, regroup per pattern.
+
+        Both random streams (the geometric sampler and the pattern
+        choices) are consumed in the same order as the scalar loop, so the
+        per-instance states are byte-identical under a fixed seed; the
+        grouped prefixes then ride ``SpaceSaving.update_many``.
+        """
+        if not isinstance(packets, (list, tuple)):
+            packets = list(packets)
+        n = len(packets)
+        self._packets += n
+        if n == 0:
+            return
+        decisions = self._sampler.sample_block(n)
+        next_pattern = self._next_pattern
+        prefix_at = self.hierarchy.prefix_at
+        per_pattern: List[List] = [[] for _ in self._instances]
+        sampled = 0
+        for i in compress(range(n), decisions):
+            sampled += 1
+            pattern = next_pattern()
+            per_pattern[pattern].append(prefix_at(packets[i], pattern))
+        self._sampled += sampled
+        for instance, prefixes in zip(self._instances, per_pattern):
+            if prefixes:
+                instance.update_many(prefixes)
+
+    def extend(self, iterable: Iterable, chunk_size: int = 4096) -> None:
+        """Feed an arbitrary iterable through :meth:`update_many` in chunks."""
+        for chunk in iter_chunks(iterable, chunk_size):
+            self.update_many(chunk)
 
     def query(self, prefix) -> float:
         """Upper-bound estimate ``f̂+ = X̂+ · V`` since the last reset."""

@@ -11,12 +11,21 @@ and RHHH to *how* sampling is implemented:
 Both are provided here, along with a plain :class:`BernoulliSampler`
 reference, behind a single ``should_sample()`` interface, so benches can
 reproduce Figure 7's crossover and tests can swap in deterministic samplers.
+
+Every sampler additionally exposes ``sample_block(n) -> list[bool]``, the
+batch-ingestion counterpart of ``should_sample``: it pre-draws the next
+``n`` decisions in one call so batch update paths pay the sampling cost
+once per block instead of once per packet.  ``sample_block`` is defined to
+consume the underlying randomness *exactly* as ``n`` successive
+``should_sample()`` calls would, so a batch-fed sketch stays byte-identical
+to a scalar-fed one under the same seed (the differential tests rely on
+this contract).
 """
 
 from __future__ import annotations
 
 import math
-from typing import Iterable, Optional
+from typing import Iterable, List, Optional
 
 import numpy as np
 
@@ -26,7 +35,22 @@ __all__ = [
     "GeometricSampler",
     "FixedSampler",
     "make_sampler",
+    "draw_decisions",
 ]
+
+
+def draw_decisions(sampler, n: int) -> List[bool]:
+    """The next ``n`` decisions from ``sampler``, preferring ``sample_block``.
+
+    Falls back to scalar ``should_sample()`` calls for user-supplied
+    sampler objects that predate the block interface, so batch ingestion
+    never demands more of a sampler than the documented contract.
+    """
+    sample_block = getattr(sampler, "sample_block", None)
+    if sample_block is not None:
+        return sample_block(n)
+    should_sample = sampler.should_sample
+    return [should_sample() for _ in range(n)]
 
 
 class BernoulliSampler:
@@ -44,6 +68,17 @@ class BernoulliSampler:
         if self.tau >= 1.0:
             return True
         return self._rng.random() <= self.tau
+
+    def sample_block(self, n: int) -> List[bool]:
+        """Draw the next ``n`` decisions in one vectorized call.
+
+        ``Generator.random(n)`` consumes the bit stream exactly as ``n``
+        scalar ``random()`` calls, so block and scalar feeding agree.
+        """
+        _check_block(n)
+        if self.tau >= 1.0:
+            return [True] * n
+        return (self._rng.random(n) <= self.tau).tolist()
 
 
 class TableSampler:
@@ -88,6 +123,26 @@ class TableSampler:
         self._pos = pos
         return bit
 
+    def sample_block(self, n: int) -> List[bool]:
+        """Slice the next ``n`` precomputed bits (re-rolling on wrap)."""
+        _check_block(n)
+        if self.tau >= 1.0:
+            return [True] * n
+        out: List[bool] = []
+        pos = self._pos
+        table = self._table
+        size = self.table_size
+        remaining = n
+        while remaining:
+            take = min(remaining, size - pos)
+            out.extend(table[pos : pos + take])
+            pos += take
+            remaining -= take
+            if pos == size:
+                pos = int(self._rng.integers(0, size))
+        self._pos = pos
+        return out
+
 
 class GeometricSampler:
     """Skip-counting sampler: draw how many packets to skip, then sample.
@@ -126,6 +181,30 @@ class GeometricSampler:
         self._remaining -= 1
         return False
 
+    def sample_block(self, n: int) -> List[bool]:
+        """Materialize the next ``n`` decisions from the skip counter.
+
+        Cost stays one ``log`` per *sampled* packet; skip runs are applied
+        in O(1) arithmetic per run rather than per packet.
+        """
+        _check_block(n)
+        if self.tau >= 1.0:
+            return [True] * n
+        out = [False] * n
+        remaining = self._remaining
+        i = 0
+        while i < n:
+            if remaining == 0:
+                out[i] = True
+                remaining = self._draw()
+                i += 1
+            else:
+                step = min(remaining, n - i)
+                remaining -= step
+                i += step
+        self._remaining = remaining
+        return out
+
 
 class FixedSampler:
     """Deterministic sampler for tests: replays a fixed decision sequence.
@@ -149,6 +228,16 @@ class FixedSampler:
             return bit
         return self._default
 
+    def sample_block(self, n: int) -> List[bool]:
+        """Replay the next ``n`` scripted decisions (padding with default)."""
+        _check_block(n)
+        pos = self._pos
+        scripted = self._decisions[pos : pos + n]
+        self._pos = min(pos + n, len(self._decisions))
+        if len(scripted) < n:
+            scripted.extend([self._default] * (n - len(scripted)))
+        return scripted
+
 
 def make_sampler(tau: float, method: str = "table", seed: Optional[int] = None):
     """Build a sampler by name: ``table``, ``geometric``, or ``bernoulli``."""
@@ -169,3 +258,8 @@ def make_sampler(tau: float, method: str = "table", seed: Optional[int] = None):
 def _check_tau(tau: float) -> None:
     if not 0.0 < tau <= 1.0:
         raise ValueError(f"tau must be in (0, 1], got {tau}")
+
+
+def _check_block(n: int) -> None:
+    if n < 0:
+        raise ValueError(f"block size must be non-negative, got {n}")

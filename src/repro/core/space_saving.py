@@ -21,7 +21,9 @@ Guarantees (with ``m = counters`` and ``n`` processed items):
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, Iterator, List, Optional, Tuple
+from typing import Dict, Hashable, Iterable, Iterator, List, Optional, Tuple
+
+from .batching import iter_chunks
 
 __all__ = ["SpaceSaving"]
 
@@ -168,6 +170,166 @@ class SpaceSaving:
     def update(self, key: Hashable) -> None:
         """Alias of :meth:`add` — the shared streaming-algorithm interface."""
         self.add(key)
+
+    def add_query(self, key: Hashable) -> int:
+        """:meth:`add` one arrival and return the new estimate in one call.
+
+        Memento's full-update loop needs the post-increment count to test
+        for overflow; fusing the pair into one straight-line method (the
+        same fast paths as :meth:`update_many`: successor-absorb,
+        in-place bump, splice) removes the whole per-packet call chain
+        from the batch hot path.  Must stay in lockstep with :meth:`add`
+        — the differential tests compare all three paths.
+        """
+        self._items += 1
+        index = self._index
+        bucket = index.get(key)
+        if bucket is not None:
+            keys = bucket.keys
+            value = bucket.value + 1
+            node = bucket.next
+            if node is not None and node.value == value:
+                node.keys[key] = keys.pop(key)
+                index[key] = node
+                if not keys:
+                    prev_b = bucket.prev
+                    if prev_b is not None:
+                        prev_b.next = node
+                    else:
+                        self._head = node
+                    node.prev = prev_b
+            elif len(keys) == 1:
+                bucket.value = value
+            else:
+                fresh = _Bucket(value)
+                fresh.keys[key] = keys.pop(key)
+                fresh.prev, fresh.next = bucket, node
+                bucket.next = fresh
+                if node is not None:
+                    node.prev = fresh
+                index[key] = fresh
+            return value
+        if self._size < self.counters:
+            self._insert(key, 1, 0, None)
+            self._size += 1
+            return 1
+        head = self._head
+        keys = head.keys
+        victim = next(iter(keys))
+        min_value = head.value
+        value = min_value + 1
+        node = head.next
+        del keys[victim]
+        del index[victim]
+        if node is not None and node.value == value:
+            node.keys[key] = min_value
+            index[key] = node
+            if not keys:
+                self._head = node
+                node.prev = None
+        elif not keys:
+            keys[key] = min_value
+            head.value = value
+            index[key] = head
+        else:
+            fresh = _Bucket(value)
+            fresh.keys[key] = min_value
+            fresh.prev, fresh.next = head, node
+            head.next = fresh
+            if node is not None:
+                node.prev = fresh
+            index[key] = fresh
+        return value
+
+    def update_many(self, items) -> None:
+        """Process a batch of unit arrivals through one hoisted loop.
+
+        State after ``update_many(items)`` is identical to calling
+        :meth:`add` once per item; the win is purely mechanical.  The
+        per-item call chain (``update`` → ``add`` → ``_detach_key`` /
+        ``_insert``) collapses into straight-line code over locals, a unit
+        increment never needs ``_insert``'s bucket scan (the target value
+        is always ``origin.value + 1``, so the successor either matches or
+        a bucket is spliced in directly), and a bucket left empty by its
+        sole occupant is *reused in place* — its value bumped instead of
+        unlink-plus-allocate, which leaves an identical chain of
+        (value, keys, error) states without touching the allocator.
+        """
+        if not isinstance(items, (list, tuple)):
+            items = list(items)
+        index = self._index
+        index_get = index.get
+        counters = self.counters
+        size = self._size
+        for key in items:
+            bucket = index_get(key)
+            if bucket is not None:
+                keys = bucket.keys
+                value = bucket.value + 1
+                node = bucket.next
+                if node is not None and node.value == value:
+                    # successor absorbs the key
+                    node.keys[key] = keys.pop(key)
+                    index[key] = node
+                    if not keys:  # unlink the emptied origin
+                        prev_b = bucket.prev
+                        if prev_b is not None:
+                            prev_b.next = node
+                        else:
+                            self._head = node
+                        node.prev = prev_b
+                elif len(keys) == 1:
+                    # sole occupant: bump the bucket in place
+                    bucket.value = value
+                else:
+                    # split: new bucket directly after the origin
+                    fresh = _Bucket(value)
+                    fresh.keys[key] = keys.pop(key)
+                    fresh.prev, fresh.next = bucket, node
+                    bucket.next = fresh
+                    if node is not None:
+                        node.prev = fresh
+                    index[key] = fresh
+                continue
+            if size < counters:
+                self._insert(key, 1, 0, None)
+                size += 1
+                continue
+            # eviction: the key takes over a minimum counter (head bucket)
+            head = self._head
+            keys = head.keys
+            victim = next(iter(keys))
+            min_value = head.value
+            value = min_value + 1
+            node = head.next
+            del keys[victim]
+            del index[victim]
+            if node is not None and node.value == value:
+                node.keys[key] = min_value
+                index[key] = node
+                if not keys:
+                    self._head = node
+                    node.prev = None
+            elif not keys:
+                # head emptied: reuse it in place for the new key
+                keys[key] = min_value
+                head.value = value
+                index[key] = head
+            else:
+                fresh = _Bucket(value)
+                fresh.keys[key] = min_value
+                fresh.prev, fresh.next = head, node
+                head.next = fresh
+                if node is not None:
+                    node.prev = fresh
+                index[key] = fresh
+        self._size = size
+        self._items += len(items)
+
+    def extend(self, iterable: Iterable[Hashable], chunk_size: int = 4096) -> None:
+        """Feed an arbitrary iterable through :meth:`update_many` in chunks."""
+        for chunk in iter_chunks(iterable, chunk_size):
+            self.update_many(chunk)
 
     def query(self, key: Hashable) -> int:
         """Upper-bound estimate of ``key``'s count since the last flush.

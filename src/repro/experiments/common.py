@@ -17,9 +17,20 @@ sizes; ``REPRO_SCALE=100`` approaches paper-sized runs).
 from __future__ import annotations
 
 import os
+import time
 from typing import Dict, List, Optional, Sequence
 
-__all__ = ["scale", "scaled", "format_rows", "rate_mpps"]
+__all__ = [
+    "scale",
+    "scaled",
+    "format_rows",
+    "rate_mpps",
+    "drive",
+    "measure_throughput",
+]
+
+#: Default batch size for the drivers' batch-ingestion feeding.
+DEFAULT_CHUNK = 4096
 
 
 def scale(default: float = 1.0) -> float:
@@ -75,3 +86,52 @@ def rate_mpps(packets: int, seconds: float) -> float:
     if seconds <= 0:
         return float("inf")
     return packets / seconds / 1e6
+
+
+def drive(algorithm, stream: Sequence, chunk_size: int = DEFAULT_CHUNK):
+    """Feed ``stream`` into ``algorithm`` through its batch ingestion path.
+
+    Prefers the algorithm's own ``extend`` (all the core sketches have
+    one; it consumes arbitrary iterables incrementally), then chunked
+    ``update_many``, then the scalar ``update`` loop.  Returns the
+    algorithm for chaining.
+    """
+    extend = getattr(algorithm, "extend", None)
+    if extend is not None:
+        extend(stream, chunk_size=chunk_size)
+        return algorithm
+    update_many = getattr(algorithm, "update_many", None)
+    if update_many is None:
+        update = algorithm.update
+        for item in stream:
+            update(item)
+        return algorithm
+    if not isinstance(stream, (list, tuple)):
+        stream = list(stream)
+    for start in range(0, len(stream), chunk_size):
+        update_many(stream[start : start + chunk_size])
+    return algorithm
+
+
+def measure_throughput(
+    algorithm,
+    stream: Sequence,
+    chunk_size: int = DEFAULT_CHUNK,
+    batch: bool = True,
+) -> float:
+    """Update throughput (packets/second) of one ingestion run.
+
+    ``batch=True`` measures the batch path via :func:`drive` (the system's
+    hot path); ``batch=False`` measures the historical per-packet loop.
+    """
+    if not isinstance(stream, (list, tuple)):
+        stream = list(stream)
+    start = time.perf_counter()
+    if batch:
+        drive(algorithm, stream, chunk_size=chunk_size)
+    else:
+        update = algorithm.update
+        for item in stream:
+            update(item)
+    elapsed = time.perf_counter() - start
+    return len(stream) / elapsed if elapsed > 0 else float("inf")

@@ -18,13 +18,12 @@ Paper scale: W = 5M, N = 16M.  Default here: W = 25k, N = 3.2·W, scaled by
 
 from __future__ import annotations
 
-import time
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..analysis.metrics import on_arrival_rmse
 from ..core.memento import Memento
 from ..traffic.synth import PROFILES, generate_trace
-from .common import format_rows, scaled
+from .common import format_rows, measure_throughput, scaled
 
 __all__ = ["run", "format_table", "DEFAULT_TAUS", "DEFAULT_COUNTERS"]
 
@@ -34,14 +33,13 @@ DEFAULT_TRACES: Tuple[str, ...] = ("backbone", "datacenter", "edge")
 
 
 def _measure_speed(window: int, counters: int, tau: float, stream, seed) -> float:
-    """Update throughput (packets/second) of one Memento configuration."""
+    """Update throughput (packets/second) of one Memento configuration.
+
+    Measures the batch ingestion path (``update_many``) — the system's
+    hot path since the batch engine landed.
+    """
     sketch = Memento(window=window, counters=counters, tau=tau, seed=seed)
-    update = sketch.update
-    start = time.perf_counter()
-    for item in stream:
-        update(item)
-    elapsed = time.perf_counter() - start
-    return len(stream) / elapsed if elapsed > 0 else float("inf")
+    return measure_throughput(sketch, stream)
 
 
 def run(

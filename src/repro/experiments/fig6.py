@@ -12,14 +12,13 @@ measured once per counter configuration.
 
 from __future__ import annotations
 
-import time
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..core.h_memento import HMemento
 from ..core.mst import WindowBaseline
 from ..hierarchy.domain import SRC_DST_HIERARCHY, SRC_HIERARCHY
 from ..traffic.synth import BACKBONE, generate_trace
-from .common import format_rows, scaled
+from .common import format_rows, measure_throughput, scaled
 
 __all__ = ["run", "format_table", "DEFAULT_TAUS", "DEFAULT_COUNTERS"]
 
@@ -28,12 +27,9 @@ DEFAULT_TAUS: Tuple[float, ...] = (1.0, 2**-2, 2**-4, 2**-6, 2**-8)
 DEFAULT_COUNTERS: Tuple[int, ...] = (64, 512)
 
 
-def _throughput(update, stream) -> float:
-    start = time.perf_counter()
-    for item in stream:
-        update(item)
-    elapsed = time.perf_counter() - start
-    return len(stream) / elapsed if elapsed > 0 else float("inf")
+def _throughput(algorithm, stream) -> float:
+    """Batch-path update throughput (see ``common.measure_throughput``)."""
+    return measure_throughput(algorithm, stream)
 
 
 def run(
@@ -57,7 +53,7 @@ def run(
         tau_floor = hierarchy.num_patterns * 2**-10
         for k in counters:
             baseline = WindowBaseline(hierarchy, window=window, counters=k)
-            baseline_speed = _throughput(baseline.update, stream)
+            baseline_speed = _throughput(baseline, stream)
             rows.append(
                 {
                     "dims": dim,
@@ -79,7 +75,7 @@ def run(
                     tau=tau_eff,
                     seed=seed,
                 )
-                speed = _throughput(sketch.update, stream)
+                speed = _throughput(sketch, stream)
                 rows.append(
                     {
                         "dims": dim,

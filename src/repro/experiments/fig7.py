@@ -15,26 +15,22 @@ packet.
 
 from __future__ import annotations
 
-import time
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..core.h_memento import HMemento
 from ..core.rhhh import RHHH
 from ..hierarchy.domain import SRC_DST_HIERARCHY, SRC_HIERARCHY
 from ..traffic.synth import BACKBONE, generate_trace
-from .common import format_rows, scaled
+from .common import format_rows, measure_throughput, scaled
 
 __all__ = ["run", "format_table", "DEFAULT_TAUS"]
 
 DEFAULT_TAUS: Tuple[float, ...] = (1.0, 2**-1, 2**-2, 2**-4, 2**-6, 2**-8)
 
 
-def _throughput(update, stream) -> float:
-    start = time.perf_counter()
-    for item in stream:
-        update(item)
-    elapsed = time.perf_counter() - start
-    return len(stream) / elapsed if elapsed > 0 else float("inf")
+def _throughput(algorithm, stream) -> float:
+    """Batch-path update throughput (see ``common.measure_throughput``)."""
+    return measure_throughput(algorithm, stream)
 
 
 def run(
@@ -64,14 +60,14 @@ def run(
                 tau=tau_eff,
                 seed=seed,
             )
-            hm_speed = _throughput(hm.update, stream)
+            hm_speed = _throughput(hm, stream)
             rh = RHHH(
                 hierarchy,
                 counters=counters,
                 sampling_ratio=hierarchy.num_patterns / tau_eff,
                 seed=seed,
             )
-            rh_speed = _throughput(rh.update, stream)
+            rh_speed = _throughput(rh, stream)
             rows.append(
                 {
                     "dims": dim,

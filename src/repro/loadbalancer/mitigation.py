@@ -153,6 +153,54 @@ class MitigationSystem:
             for balancer in self.load_balancers:
                 balancer.acl.add_rule(prefix, self.action, rate=self.rate)
 
+    def process_many(
+        self,
+        sources: Sequence[int],
+        attack_flags: Optional[Sequence[bool]] = None,
+    ) -> int:
+        """Feed a batch of requests round-robin; returns how many were
+        blocked.
+
+        Equivalent to calling :meth:`process` per request with
+        ``lb_index = i % len(load_balancers)``, but the accounting runs on
+        locals and only syncs back to the instance at rule-refresh
+        boundaries (where :meth:`_refresh_rules` reads the counters) and
+        at the end of the batch.
+        """
+        n = len(sources)
+        flags = attack_flags if attack_flags is not None else None
+        if flags is not None and len(flags) != n:
+            raise ValueError("attack_flags must match sources length")
+        balancers = self.load_balancers
+        count = len(balancers)
+        interval = self.check_interval
+        start_blocked = self.blocked_requests
+        processed = self.requests_processed
+        blocked_count = self.blocked_requests
+        leaked = self.leaked_attack_requests
+        attacks = self.total_attack_requests
+        for i in range(n):
+            is_attack = flags is not None and flags[i]
+            processed += 1
+            if is_attack:
+                attacks += 1
+            response = balancers[i % count].handle(sources[i])
+            if not response.ok:
+                blocked_count += 1
+            elif is_attack:
+                leaked += 1
+            if processed % interval == 0:
+                self.requests_processed = processed
+                self.blocked_requests = blocked_count
+                self.leaked_attack_requests = leaked
+                self.total_attack_requests = attacks
+                self._refresh_rules()
+        self.requests_processed = processed
+        self.blocked_requests = blocked_count
+        self.leaked_attack_requests = leaked
+        self.total_attack_requests = attacks
+        return blocked_count - start_blocked
+
     # ------------------------------------------------------------------
     def run(
         self,
@@ -161,14 +209,11 @@ class MitigationSystem:
         assignment: str = "round_robin",
     ) -> MitigationReport:
         """Replay a request stream across the fleet and report outcomes."""
-        count = len(self.load_balancers)
-        flags = attack_flags if attack_flags is not None else [False] * len(sources)
-        if len(flags) != len(sources):
+        if attack_flags is not None and len(attack_flags) != len(sources):
             raise ValueError("attack_flags must match sources length")
         if assignment != "round_robin":
             raise ValueError(f"unsupported assignment {assignment!r}")
-        for idx, (src, is_attack) in enumerate(zip(sources, flags)):
-            self.process(src, idx % count, is_attack)
+        self.process_many(sources, attack_flags)
         return MitigationReport(
             detections=dict(self.detections),
             blocked_requests=self.blocked_requests,

@@ -49,21 +49,35 @@ class SketchController:
         self.packets_covered = 0
 
     def receive(self, report: BatchReport) -> None:
-        """Apply one report: Full updates for samples, Window for the rest."""
-        gap = report.covered - len(report.samples)
+        """Apply one report: Full updates for samples, Window for the rest.
+
+        The samples ride the sketch's batch ingestion path
+        (``ingest_samples``), so a Batch-method report costs one hoisted
+        block update rather than one call per sample.
+        """
+        samples = report.samples
+        gap = report.covered - len(samples)
         if gap < 0:
             raise ValueError(
                 f"malformed report: covers {report.covered} packets but "
-                f"carries {len(report.samples)} samples"
+                f"carries {len(samples)} samples"
             )
         algorithm = self.algorithm
-        for packet in report.samples:
-            algorithm.ingest_sample(packet)
+        if len(samples) == 1:
+            algorithm.ingest_sample(samples[0])
+        elif samples:
+            algorithm.ingest_samples(samples)
         if gap > 0:
             algorithm.ingest_gap(gap)
         self.reports_received += 1
-        self.samples_ingested += len(report.samples)
+        self.samples_ingested += len(samples)
         self.packets_covered += report.covered
+
+    def receive_many(self, reports) -> None:
+        """Apply a sequence of reports in arrival order."""
+        receive = self.receive
+        for report in reports:
+            receive(report)
 
     def query(self, key: Hashable) -> float:
         """Network-wide window frequency estimate for ``key``."""

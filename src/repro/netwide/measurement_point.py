@@ -19,9 +19,10 @@ Section 4.3:
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, List, Optional
+from itertools import compress
+from typing import Dict, Hashable, List, Optional, Sequence
 
-from ..core.sampling import make_sampler
+from ..core.sampling import draw_decisions, make_sampler
 from ..hierarchy.domain import Hierarchy
 from .messages import AggregateReport, BatchReport
 
@@ -84,6 +85,38 @@ class SamplingPoint:
             if len(self._samples) == self.batch_size:
                 return self._emit()
         return None
+
+    def observe_many(self, packets: Sequence[Hashable]) -> List[BatchReport]:
+        """Process a batch of packets; return every report that filled.
+
+        State after ``observe_many(packets)`` is identical to calling
+        :meth:`observe` per packet under the same seed: sampling decisions
+        are pre-drawn in one block and only the sampled packets are
+        touched individually.
+        """
+        if not isinstance(packets, (list, tuple)):
+            packets = list(packets)
+        n = len(packets)
+        if n == 0:
+            return []
+        decisions = draw_decisions(self._sampler, n)
+        reports: List[BatchReport] = []
+        samples = self._samples
+        batch_size = self.batch_size
+        covered = self._covered
+        consumed = 0  # batch packets already folded into ``covered``
+        for i in compress(range(n), decisions):
+            covered += i + 1 - consumed
+            consumed = i + 1
+            samples.append(packets[i])
+            if len(samples) == batch_size:
+                self._covered = covered
+                reports.append(self._emit())
+                samples = self._samples
+                covered = 0
+        self._covered = covered + (n - consumed)
+        self.packets_seen += n
+        return reports
 
     def _emit(self) -> BatchReport:
         size = self.header + self.payload * len(self._samples)
@@ -163,6 +196,21 @@ class AggregatingPoint:
         if self._allowance >= size:
             return self._emit(size)
         return None
+
+    def observe_many(self, packets: Sequence[Hashable]) -> List[AggregateReport]:
+        """Batch counterpart of :meth:`observe` (uniform point interface).
+
+        Aggregation accrues its byte allowance per packet and may emit at
+        any arrival, so the loop stays scalar — this baseline is the slow
+        path the paper argues against, not a hot path worth inlining.
+        """
+        observe = self.observe
+        reports = []
+        for packet in packets:
+            report = observe(packet)
+            if report is not None:
+                reports.append(report)
+        return reports
 
     def _emit(self, size: int) -> AggregateReport:
         entries = self._entries

@@ -167,6 +167,29 @@ class NetwideSystem:
             self.controller.receive(report)
         return True
 
+    def offer_many(self, point_index: int, packets: Sequence[Hashable]) -> int:
+        """Deliver a batch of packets to one measurement point.
+
+        Returns the number of reports the batch triggered.  For the
+        Sample/Batch methods this rides the point's block-sampled
+        ``observe_many`` and the controller's batch ingestion; the
+        aggregate method needs per-packet arrival times for report
+        expiry, so it falls back to scalar delivery.
+        """
+        if self.config.method == "aggregate":
+            triggered = 0
+            offer = self.offer
+            for packet in packets:
+                if offer(point_index, packet):
+                    triggered += 1
+            return triggered
+        if not isinstance(packets, (list, tuple)):
+            packets = list(packets)
+        self.now += len(packets)
+        reports = self.points[point_index].observe_many(packets)
+        self.controller.receive_many(reports)
+        return len(reports)
+
     def query(self, key: Hashable) -> float:
         """Controller-side network-wide window frequency estimate."""
         return self.controller.query(key)

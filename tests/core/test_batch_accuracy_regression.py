@@ -1,0 +1,83 @@
+"""Oracle accuracy regression: batching must not break the sampling math.
+
+A batch-fed ``Memento(tau < 1)`` is compared against the exact sliding
+window (``core/exact.py``) on a synthetic trace.  If the batch engine
+mishandled the sampling correction (wrong RNG consumption, dropped window
+updates, a mis-scaled overflow quantum), the per-key error would blow
+past the ``epsilon_a * W + epsilon_s * W`` scale that Theorem 5.2
+guarantees — this test pins that bound with a fixed seed.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import ExactWindowCounter, Memento, generate_trace
+from repro.analysis.error_model import memento_sampling_error
+from repro.traffic.synth import BACKBONE, DATACENTER
+
+WINDOW = 2_048
+COUNTERS = 64  # epsilon_a = 4 / 64 = 1/16
+DELTA = 0.01
+CHUNK = 1_000  # deliberately misaligned with blocks and frames
+
+
+@pytest.mark.parametrize("tau", [0.5, 0.25, 0.1])
+@pytest.mark.parametrize("profile", [BACKBONE, DATACENTER])
+def test_batch_fed_memento_tracks_exact_window(tau, profile):
+    sketch = Memento(window=WINDOW, counters=COUNTERS, tau=tau, seed=2018)
+    oracle = ExactWindowCounter(sketch.effective_window)
+    stream = generate_trace(profile, 6 * WINDOW, seed=2018).packets_1d()
+
+    # theory scale: algorithmic + sampling error, both in window packets
+    bound = (
+        sketch.epsilon * sketch.effective_window
+        + memento_sampling_error(sketch.effective_window, tau, DELTA)
+        * sketch.effective_window
+    )
+
+    checked = 0
+    worst = 0.0
+    for start in range(0, len(stream), CHUNK):
+        chunk = stream[start : start + CHUNK]
+        sketch.update_many(chunk)
+        oracle.update_many(chunk)
+        if start < 2 * WINDOW:  # let the window fill first
+            continue
+        # check the currently-heavy keys (the flows the sketch exists for)
+        for key, true_count in oracle.heavy_hitters(0.01).items():
+            err = abs(sketch.query_point(key) - true_count)
+            worst = max(worst, err)
+            checked += 1
+            assert err <= bound, (
+                f"tau={tau}: |estimate - exact| = {err:.1f} exceeds "
+                f"theory-scale bound {bound:.1f} for key {key!r}"
+            )
+    assert checked > 0, "trace produced no heavy hitters to check"
+    # sanity that the comparison exercised real approximation error
+    # (a zero worst error would mean the oracle was mis-wired)
+    assert worst > 0
+
+
+def test_upper_bound_stays_conservative():
+    """``query`` (the paper's one-sided estimate) must upper-bound the
+    true window count for every monitored key, batch-fed or not."""
+    sketch = Memento(window=WINDOW, counters=COUNTERS, tau=0.25, seed=7)
+    oracle = ExactWindowCounter(sketch.effective_window)
+    stream = generate_trace(BACKBONE, 4 * WINDOW, seed=7).packets_1d()
+    violations = 0
+    total = 0
+    for start in range(0, len(stream), CHUNK):
+        chunk = stream[start : start + CHUNK]
+        sketch.update_many(chunk)
+        oracle.update_many(chunk)
+        if start < 2 * WINDOW:
+            continue
+        for key, true_count in oracle.heavy_hitters(0.02).items():
+            total += 1
+            if sketch.query(key) < true_count:
+                violations += 1
+    assert total > 0
+    # sampling makes the +2-block shift probabilistic rather than strict;
+    # Theorem 5.2 allows a delta-fraction of misses
+    assert violations <= max(1, int(0.05 * total))

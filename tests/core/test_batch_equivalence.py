@@ -1,0 +1,346 @@
+"""Differential tests: batch ingestion must be byte-identical to scalar.
+
+Every sketch with an ``update_many`` fast path is driven twice from the
+same seed — once through the scalar ``update`` loop, once through the
+batch engine (including ragged ``extend`` chunking) — and the complete
+internal state is compared.  Streams are sized to cross block, frame, and
+queue-rotation boundaries, which is where the batched window-slide
+bookkeeping could silently diverge.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import (
+    MST,
+    RHHH,
+    ExactIntervalCounter,
+    ExactWindowCounter,
+    ExactWindowHHH,
+    HMemento,
+    Memento,
+    SRC_HIERARCHY,
+    SpaceSaving,
+    WindowBaseline,
+    generate_trace,
+)
+from repro.traffic.synth import BACKBONE, DATACENTER
+
+# A window of 1000 with 32 counters gives block_size 32 and frames of
+# 1024 packets; 12k-packet streams therefore cross ~11 frame flushes and
+# hundreds of queue rotations.
+WINDOW = 1000
+COUNTERS = 32
+STREAM_LEN = 12_000
+
+
+def space_saving_state(ss: SpaceSaving):
+    """Full structural digest of the stream-summary: the bucket chain (in
+    value order, with per-key errors), link consistency, and counters."""
+    chain = []
+    bucket = ss._head
+    prev = None
+    while bucket is not None:
+        assert bucket.prev is prev, "broken back-link"
+        assert bucket.keys, "empty bucket left linked"
+        chain.append(
+            (bucket.value, sorted((repr(k), e) for k, e in bucket.keys.items()))
+        )
+        prev = bucket
+        bucket = bucket.next
+    values = [value for value, _ in chain]
+    assert values == sorted(values), "bucket chain out of order"
+    return (chain, ss._size, ss._items, sorted(repr(k) for k in ss._index))
+
+
+def memento_state(m: Memento):
+    """Digest of Algorithm 1's entire mutable state."""
+    return (
+        m._updates,
+        m._full_updates,
+        m._countdown,
+        m._blocks_into_frame,
+        dict(m._offsets),
+        [list(q) for q in m._queues],
+        space_saving_state(m._y),
+    )
+
+
+def scalar_feed(sketch, stream):
+    update = sketch.update
+    for item in stream:
+        update(item)
+    return sketch
+
+
+def batch_feed(sketch, stream, chunks=(1, 7, 64, 1023, 4096)):
+    """Feed through update_many with a ragged, boundary-crossing chunking."""
+    i = 0
+    n = len(stream)
+    ci = 0
+    while i < n:
+        chunk = chunks[ci % len(chunks)]
+        sketch.update_many(stream[i : i + chunk])
+        i += chunk
+        ci += 1
+    return sketch
+
+
+@pytest.fixture(scope="module")
+def stream():
+    return generate_trace(BACKBONE, STREAM_LEN, seed=3).packets_1d()
+
+
+@pytest.fixture(scope="module")
+def skewed_stream():
+    return generate_trace(DATACENTER, STREAM_LEN, seed=19).packets_1d()
+
+
+class TestSpaceSavingEquivalence:
+    @pytest.mark.parametrize("counters", [4, 32, 512])
+    def test_update_many_matches_scalar(self, stream, counters):
+        a = scalar_feed(SpaceSaving(counters), stream)
+        b = batch_feed(SpaceSaving(counters), stream)
+        assert space_saving_state(a) == space_saving_state(b)
+
+    def test_extend_matches_scalar(self, skewed_stream):
+        a = scalar_feed(SpaceSaving(64), skewed_stream)
+        b = SpaceSaving(64)
+        b.extend(iter(skewed_stream), chunk_size=999)
+        assert space_saving_state(a) == space_saving_state(b)
+
+    def test_empty_batch_is_noop(self):
+        ss = SpaceSaving(4)
+        ss.update_many([])
+        assert ss.processed == 0
+
+    @given(
+        items=st.lists(st.integers(0, 9), max_size=200),
+        counters=st.integers(1, 6),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_property_small_universe(self, items, counters):
+        # tiny universes maximize eviction churn and bucket sharing
+        a = SpaceSaving(counters)
+        for item in items:
+            a.add(item)
+        b = SpaceSaving(counters)
+        b.update_many(items)
+        assert space_saving_state(a) == space_saving_state(b)
+
+
+class TestMementoEquivalence:
+    @pytest.mark.parametrize("tau", [1.0, 0.5, 0.1, 2**-6, 2**-10])
+    @pytest.mark.parametrize("sampler", ["table", "geometric", "bernoulli"])
+    def test_update_many_matches_scalar(self, stream, tau, sampler):
+        a = Memento(WINDOW, counters=COUNTERS, tau=tau, sampler=sampler, seed=11)
+        b = Memento(WINDOW, counters=COUNTERS, tau=tau, sampler=sampler, seed=11)
+        scalar_feed(a, stream)
+        batch_feed(b, stream)
+        assert memento_state(a) == memento_state(b)
+
+    def test_extend_ragged_chunks(self, skewed_stream):
+        a = Memento(WINDOW, counters=COUNTERS, tau=0.25, seed=5)
+        b = Memento(WINDOW, counters=COUNTERS, tau=0.25, seed=5)
+        scalar_feed(a, skewed_stream)
+        b.extend(iter(skewed_stream), chunk_size=313)
+        assert memento_state(a) == memento_state(b)
+
+    def test_single_item_batches(self, stream):
+        # chunk size 1 is the degenerate batch: pure overhead, same state
+        a = Memento(WINDOW, counters=COUNTERS, tau=0.3, seed=7)
+        b = Memento(WINDOW, counters=COUNTERS, tau=0.3, seed=7)
+        scalar_feed(a, stream[:3000])
+        for item in stream[:3000]:
+            b.update_many([item])
+        assert memento_state(a) == memento_state(b)
+
+    def test_full_update_many_matches_scalar(self, stream):
+        a = Memento(WINDOW, counters=COUNTERS, tau=0.5, seed=2)
+        b = Memento(WINDOW, counters=COUNTERS, tau=0.5, seed=2)
+        for item in stream[:5000]:
+            a.full_update(item)
+        b.full_update_many(stream[:5000])
+        assert memento_state(a) == memento_state(b)
+
+    def test_ingest_samples_matches_scalar(self, stream):
+        a = Memento(WINDOW, counters=COUNTERS, tau=0.5, seed=2)
+        b = Memento(WINDOW, counters=COUNTERS, tau=0.5, seed=2)
+        for item in stream[:5000]:
+            a.ingest_sample(item)
+        b.ingest_samples(stream[:5000])
+        assert memento_state(a) == memento_state(b)
+
+    def test_queries_identical_after_batch(self, stream):
+        a = Memento(WINDOW, counters=COUNTERS, tau=0.1, seed=13)
+        b = Memento(WINDOW, counters=COUNTERS, tau=0.1, seed=13)
+        scalar_feed(a, stream)
+        batch_feed(b, stream)
+        for key in set(stream[:200]):
+            assert a.query(key) == b.query(key)
+            assert a.query_point(key) == b.query_point(key)
+            assert a.query_lower(key) == b.query_lower(key)
+        assert a.heavy_hitters(0.01) == b.heavy_hitters(0.01)
+
+
+class TestHierarchicalEquivalence:
+    def test_mst(self, stream):
+        a = scalar_feed(MST(SRC_HIERARCHY, counters=64), stream)
+        b = batch_feed(MST(SRC_HIERARCHY, counters=64), stream)
+        assert a.packets == b.packets
+        for x, y in zip(a._instances, b._instances):
+            assert space_saving_state(x) == space_saving_state(y)
+
+    def test_window_baseline(self, stream):
+        a = WindowBaseline(SRC_HIERARCHY, window=2000, counters=COUNTERS)
+        b = WindowBaseline(SRC_HIERARCHY, window=2000, counters=COUNTERS)
+        scalar_feed(a, stream[:8000])
+        batch_feed(b, stream[:8000])
+        assert a.packets == b.packets
+        for x, y in zip(a._instances, b._instances):
+            assert memento_state(x) == memento_state(y)
+
+    @pytest.mark.parametrize("sampling_ratio", [None, 10.0])
+    def test_rhhh(self, stream, sampling_ratio):
+        a = RHHH(SRC_HIERARCHY, counters=64, sampling_ratio=sampling_ratio, seed=4)
+        b = RHHH(SRC_HIERARCHY, counters=64, sampling_ratio=sampling_ratio, seed=4)
+        scalar_feed(a, stream)
+        batch_feed(b, stream)
+        assert (a.packets, a.sampled) == (b.packets, b.sampled)
+        for x, y in zip(a._instances, b._instances):
+            assert space_saving_state(x) == space_saving_state(y)
+
+    @pytest.mark.parametrize("tau", [1.0, 0.3, 0.05])
+    def test_hmemento(self, stream, tau):
+        a = HMemento(
+            window=3000, hierarchy=SRC_HIERARCHY, counters=160, tau=tau, seed=6
+        )
+        b = HMemento(
+            window=3000, hierarchy=SRC_HIERARCHY, counters=160, tau=tau, seed=6
+        )
+        scalar_feed(a, stream)
+        batch_feed(b, stream)
+        assert a.updates == b.updates
+        assert a._pattern_pos == b._pattern_pos
+        assert memento_state(a._memento) == memento_state(b._memento)
+
+    def test_hmemento_ingest_samples(self, stream):
+        a = HMemento(
+            window=3000, hierarchy=SRC_HIERARCHY, counters=160, tau=0.25, seed=6
+        )
+        b = HMemento(
+            window=3000, hierarchy=SRC_HIERARCHY, counters=160, tau=0.25, seed=6
+        )
+        for item in stream[:4000]:
+            a.ingest_sample(item)
+        b.ingest_samples(stream[:4000])
+        assert a.updates == b.updates
+        assert memento_state(a._memento) == memento_state(b._memento)
+
+
+class TestExactEquivalence:
+    def test_window_counter(self, stream):
+        a = scalar_feed(ExactWindowCounter(WINDOW), stream)
+        b = batch_feed(ExactWindowCounter(WINDOW), stream)
+        assert (a._counts, a._ring, a._pos, a._total) == (
+            b._counts,
+            b._ring,
+            b._pos,
+            b._total,
+        )
+
+    def test_interval_counter(self, stream):
+        a = scalar_feed(ExactIntervalCounter(777), stream)
+        b = ExactIntervalCounter(777)
+        b.update_many(stream[:5])
+        b.update_many(stream[5:])
+        assert (a._counts, a._last, a._in_interval, a._intervals) == (
+            b._counts,
+            b._last,
+            b._in_interval,
+            b._intervals,
+        )
+
+    def test_window_hhh(self, stream):
+        a = ExactWindowHHH(SRC_HIERARCHY, 1500)
+        b = ExactWindowHHH(SRC_HIERARCHY, 1500)
+        scalar_feed(a, stream[:6000])
+        b.update_many(stream[:6000])
+        for x, y in zip(a._counters, b._counters):
+            assert (x._counts, x._pos, x._total) == (y._counts, y._pos, y._total)
+
+
+class TestCustomSamplerObjects:
+    """Batch paths must honour the documented sampler contract: a plain
+    object with only ``should_sample()`` (no ``sample_block``)."""
+
+    class MinimalSampler:
+        """Deterministic every-3rd-packet sampler without sample_block."""
+
+        def __init__(self):
+            self.calls = 0
+
+        def should_sample(self) -> bool:
+            self.calls += 1
+            return self.calls % 3 == 0
+
+    def test_memento_update_many_falls_back_to_scalar_draws(self, stream):
+        a = Memento(WINDOW, counters=COUNTERS, sampler=self.MinimalSampler())
+        b = Memento(WINDOW, counters=COUNTERS, sampler=self.MinimalSampler())
+        scalar_feed(a, stream[:4000])
+        batch_feed(b, stream[:4000])
+        assert memento_state(a) == memento_state(b)
+
+    def test_tau1_with_refusing_sampler_still_consults_it(self, stream):
+        # constructor default tau=1.0 plus a sampler that says "no":
+        # update_many must not bypass the sampler via the WCSS fast path
+        from repro import FixedSampler
+
+        refuser = FixedSampler([False, True] * 4000, default=False)
+        a = Memento(WINDOW, counters=COUNTERS, sampler=refuser)
+        refuser_b = FixedSampler([False, True] * 4000, default=False)
+        b = Memento(WINDOW, counters=COUNTERS, sampler=refuser_b)
+        scalar_feed(a, stream[:4000])
+        batch_feed(b, stream[:4000])
+        assert a.full_updates == 2000
+        assert memento_state(a) == memento_state(b)
+
+    def test_hmemento_update_many_with_minimal_sampler(self, stream):
+        a = HMemento(
+            window=3000,
+            hierarchy=SRC_HIERARCHY,
+            counters=160,
+            sampler=self.MinimalSampler(),
+            seed=6,
+        )
+        b = HMemento(
+            window=3000,
+            hierarchy=SRC_HIERARCHY,
+            counters=160,
+            sampler=self.MinimalSampler(),
+            seed=6,
+        )
+        scalar_feed(a, stream[:4000])
+        batch_feed(b, stream[:4000])
+        assert memento_state(a._memento) == memento_state(b._memento)
+
+    def test_tau1_with_scripted_skips_default_true(self, stream):
+        # FixedSampler claims tau=1.0 when default=True, but its scripted
+        # False decisions must still be honoured by the batch path
+        from repro import FixedSampler
+
+        a = Memento(
+            WINDOW, counters=COUNTERS,
+            sampler=FixedSampler([False] * 100, default=True),
+        )
+        b = Memento(
+            WINDOW, counters=COUNTERS,
+            sampler=FixedSampler([False] * 100, default=True),
+        )
+        scalar_feed(a, stream[:4000])
+        batch_feed(b, stream[:4000])
+        assert a.full_updates == 4000 - 100
+        assert memento_state(a) == memento_state(b)

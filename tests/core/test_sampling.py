@@ -105,3 +105,56 @@ class TestFactory:
     def test_unknown_name(self):
         with pytest.raises(ValueError, match="unknown sampler"):
             make_sampler(0.5, method="magic")
+
+
+class TestSampleBlock:
+    """``sample_block(n)`` must consume the RNG exactly as ``n`` scalar
+    ``should_sample()`` calls — the batch engine's core contract."""
+
+    @pytest.mark.parametrize("method", ["table", "geometric", "bernoulli"])
+    @pytest.mark.parametrize("tau", [0.01, 0.3, 0.9, 1.0])
+    def test_matches_scalar_stream(self, method, tau):
+        scalar = make_sampler(tau, method=method, seed=5)
+        block = make_sampler(tau, method=method, seed=5)
+        want = [scalar.should_sample() for _ in range(2000)]
+        got = []
+        for size in (1, 7, 0, 64, 251, 999, 678):
+            got.extend(block.sample_block(size))
+        assert got == want
+        # and the samplers stay in sync afterwards
+        assert block.sample_block(50) == [
+            scalar.should_sample() for _ in range(50)
+        ]
+
+    @pytest.mark.parametrize("method", ["table", "geometric", "bernoulli"])
+    def test_block_crossing_table_wrap(self, method):
+        # a block larger than the table forces the wrap re-roll path
+        kwargs = {"table_size": 64} if method == "table" else {}
+        cls = {
+            "table": TableSampler,
+            "geometric": GeometricSampler,
+            "bernoulli": BernoulliSampler,
+        }[method]
+        scalar = cls(0.4, seed=9, **kwargs)
+        block = cls(0.4, seed=9, **kwargs)
+        want = [scalar.should_sample() for _ in range(500)]
+        assert block.sample_block(500) == want
+
+    def test_empty_block(self):
+        sampler = make_sampler(0.5, method="table", seed=1)
+        assert sampler.sample_block(0) == []
+
+    def test_negative_block_rejected(self):
+        sampler = make_sampler(0.5, method="table", seed=1)
+        with pytest.raises(ValueError, match="non-negative"):
+            sampler.sample_block(-1)
+
+    def test_fixed_sampler_replays_and_pads(self):
+        sampler = FixedSampler([True, False, True], default=False)
+        assert sampler.sample_block(5) == [True, False, True, False, False]
+        assert sampler.sample_block(2) == [False, False]
+
+    def test_block_frequency_approximates_tau(self):
+        sampler = make_sampler(0.2, method="bernoulli", seed=3)
+        decisions = sampler.sample_block(20_000)
+        assert 0.17 < sum(decisions) / len(decisions) < 0.23

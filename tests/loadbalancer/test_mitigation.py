@@ -131,3 +131,42 @@ class TestMitigationLoop:
         mitigation = build_system()
         with pytest.raises(ValueError):
             mitigation.run(flood_trace.src, [True])
+
+
+class TestProcessManyEquivalence:
+    """Batch request replay must match the scalar per-request loop."""
+
+    def _summary(self, mitigation):
+        return (
+            mitigation.requests_processed,
+            mitigation.blocked_requests,
+            mitigation.leaked_attack_requests,
+            mitigation.total_attack_requests,
+            dict(mitigation.detections),
+        )
+
+    def test_matches_scalar_process(self, flood_trace):
+        packets, flags = flood_trace.src, flood_trace.is_attack
+        a = build_system()
+        for idx, (src, is_attack) in enumerate(zip(packets, flags)):
+            a.process(src, idx % len(a.load_balancers), is_attack)
+        b = build_system()
+        b.process_many(packets, flags)
+        assert self._summary(a) == self._summary(b)
+
+    def test_run_uses_batch_path(self, flood_trace):
+        packets, flags = flood_trace.src, flood_trace.is_attack
+        report = build_system().run(packets, flags)
+        assert report.total_requests == len(packets)
+        assert report.detections  # flood subnets found
+
+    def test_returns_blocked_delta(self, flood_trace):
+        packets, flags = flood_trace.src, flood_trace.is_attack
+        system = build_system()
+        blocked = system.process_many(packets, flags)
+        assert blocked == system.blocked_requests
+
+    def test_rejects_mismatched_flags_in_batch(self):
+        system = build_system()
+        with pytest.raises(ValueError, match="attack_flags"):
+            system.process_many([1, 2, 3], [True])

@@ -121,3 +121,64 @@ class TestAggregatingPoint:
             AggregatingPoint(point_id=0, budget=0.0)
         with pytest.raises(ValueError):
             AggregatingPoint(point_id=0, budget=1.0, max_entries=0)
+
+
+class TestObserveMany:
+    """Batch delivery must be byte-identical to per-packet observation."""
+
+    def _state(self, point: SamplingPoint):
+        return (
+            point.packets_seen,
+            point.reports_sent,
+            point.bytes_sent,
+            point.pending_samples,
+            point.pending_covered,
+            list(point._samples),
+        )
+
+    @pytest.mark.parametrize("batch_size", [1, 3, 16])
+    @pytest.mark.parametrize("tau", [0.1, 0.5, 1.0])
+    def test_matches_scalar_observe(self, batch_size, tau):
+        a = SamplingPoint(point_id=0, tau=tau, batch_size=batch_size, seed=5)
+        b = SamplingPoint(point_id=0, tau=tau, batch_size=batch_size, seed=5)
+        packets = [i % 37 for i in range(2000)]
+        want = [r for p in packets if (r := a.observe(p)) is not None]
+        got = []
+        for start in range(0, len(packets), 687):  # ragged, report-crossing
+            got.extend(b.observe_many(packets[start : start + 687]))
+        assert [
+            (r.point_id, r.samples, r.covered, r.size_bytes) for r in want
+        ] == [(r.point_id, r.samples, r.covered, r.size_bytes) for r in got]
+        assert self._state(a) == self._state(b)
+
+    def test_empty_batch(self):
+        point = SamplingPoint(point_id=0, tau=0.5, batch_size=4, seed=1)
+        assert point.observe_many([]) == []
+        assert point.packets_seen == 0
+
+    def test_deterministic_sampler_coverage_accounting(self):
+        # every 3rd packet sampled, batch of 2: report covers up to the
+        # sample that filled it, remainder carries over
+        point = SamplingPoint(
+            point_id=0,
+            tau=0.5,
+            batch_size=2,
+            sampler=FixedSampler([False, False, True] * 4, default=False),
+        )
+        reports = point.observe_many(list(range(12)))
+        assert len(reports) == 2
+        assert reports[0].covered == 6
+        assert reports[1].covered == 6
+        assert point.pending_covered == 0
+
+    def test_aggregating_point_observe_many(self):
+        a = AggregatingPoint(point_id=0, budget=2.0, header=8, payload=4)
+        b = AggregatingPoint(point_id=0, budget=2.0, header=8, payload=4)
+        packets = [i % 5 for i in range(300)]
+        want = [r for p in packets if (r := a.observe(p)) is not None]
+        got = b.observe_many(packets)
+        assert [(r.entries, r.covered, r.size_bytes) for r in want] == [
+            (r.entries, r.covered, r.size_bytes) for r in got
+        ]
+        assert a.pending_entries == b.pending_entries
+        assert a.bytes_sent == b.bytes_sent

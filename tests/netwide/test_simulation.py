@@ -177,3 +177,47 @@ class TestErrorExperiment:
             "batch_size",
         } <= set(result)
         assert result["observations"] > 0
+
+
+class TestOfferMany:
+    """Batch delivery through a point must match scalar offer exactly."""
+
+    @pytest.mark.parametrize("method,batch", [("sample", None), ("batch", 16)])
+    def test_single_point_identical_state(self, method, batch):
+        stream = generate_trace(DATACENTER, 8000, seed=21).packets_1d()
+        config = NetwideConfig(
+            points=1, method=method, budget=1.0, window=2000,
+            counters=128, batch_size=batch, seed=13,
+        )
+        a, b = NetwideSystem(config), NetwideSystem(config)
+        triggered_scalar = sum(bool(a.offer(0, p)) for p in stream)
+        triggered_batch = 0
+        for start in range(0, len(stream), 1111):
+            triggered_batch += b.offer_many(0, stream[start : start + 1111])
+        assert triggered_scalar == triggered_batch
+        assert a.now == b.now
+        assert a.bytes_sent == b.bytes_sent
+        assert a.reports_sent == b.reports_sent
+        ca, cb = a.controller, b.controller
+        assert ca.samples_ingested == cb.samples_ingested
+        assert ca.packets_covered == cb.packets_covered
+        ma, mb = ca.algorithm, cb.algorithm
+        assert ma.updates == mb.updates
+        assert ma.full_updates == mb.full_updates
+        assert dict(ma._offsets) == dict(mb._offsets)
+        for key in set(stream[:100]):
+            assert ma.query(key) == mb.query(key)
+
+    def test_aggregate_falls_back_to_scalar(self):
+        stream = generate_trace(DATACENTER, 2000, seed=5).packets_1d()
+        config = NetwideConfig(
+            points=1, method="aggregate", budget=1.0, window=1000, counters=64,
+        )
+        a, b = NetwideSystem(config), NetwideSystem(config)
+        for p in stream:
+            a.offer(0, p)
+        b.offer_many(0, stream)
+        assert a.now == b.now
+        assert a.reports_sent == b.reports_sent
+        for key in set(stream[:50]):
+            assert a.query(key) == b.query(key)
