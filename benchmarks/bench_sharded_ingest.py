@@ -1,0 +1,258 @@
+"""Sharded-ingestion benchmark: ShardedSketch vs the raw batch path.
+
+Extends the ``repro-bench/1`` perf trail started by
+``bench_micro_updates.py`` to the sharding layer:
+
+* ``python benchmarks/bench_sharded_ingest.py`` — times the PR-1 batch
+  path (the reference), a 1-shard ``ShardedSketch`` (which must not
+  regress it — the delegation fast path is gated at
+  ``MIN_SINGLE_SHARD_RATIO``), and multi-shard runs (2/4/8 shards,
+  serial executor).  Results persist to ``BENCH_sharded_ingest.json`` at
+  the repo root.  ``--smoke`` shrinks the workload for CI and skips the
+  gate.
+* ``pytest benchmarks/bench_sharded_ingest.py`` — pytest-benchmark
+  entries for interactive comparison.
+
+Multi-shard serial wall-clock *adds* routing overhead by construction
+(every packet is hashed, every shard bookkeeps its gaps); the scaling
+story is the **critical path**: the slowest single shard's share of the
+work, which is what an actually-parallel deployment pays per batch.  The
+bench measures per-shard apply times through an instrumented executor
+and reports ``critical_path_speedup = Σ shard_time / max shard_time``
+per shard count in the extra metadata.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import pytest
+
+try:
+    import repro  # noqa: F401 - probe for an installed package
+except ModuleNotFoundError:  # uninstalled checkout: fall back to src/
+    from pathlib import Path
+
+    sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+from repro import Memento, ShardedSketch, SpaceSaving, generate_trace
+from repro.bench import BenchResult, bench, repo_root, write_results
+from repro.sharding.executors import SerialExecutor
+from repro.traffic.synth import BACKBONE
+
+WINDOW = 8192
+N = 20_000
+CHUNK = 4096
+SHARD_COUNTS = (1, 2, 4, 8)
+
+#: 1-shard ShardedSketch must retain this share of the raw batch ops/sec.
+MIN_SINGLE_SHARD_RATIO = 0.9
+
+#: (case name, per-shard sketch factory) — both gated cases of the micro
+#: bench, so the two perf trails stay comparable.
+CASES: List[Tuple[str, Callable[[int], object]]] = [
+    (
+        "memento_tau0.1",
+        lambda i: Memento(window=WINDOW, counters=512, tau=0.1, seed=1 + i),
+    ),
+    ("space_saving", lambda i: SpaceSaving(512)),
+]
+
+
+class TimingSerialExecutor(SerialExecutor):
+    """Serial executor that records each shard task's wall time."""
+
+    def __init__(self) -> None:
+        self.task_seconds: List[float] = []
+
+    def map(self, fn, tasks):
+        results = []
+        timings = []
+        perf_counter = time.perf_counter
+        for task in tasks:
+            start = perf_counter()
+            results.append(fn(*task))
+            timings.append(perf_counter() - start)
+        self.task_seconds = timings
+        return results
+
+
+def make_stream(n: int = N) -> list:
+    return generate_trace(BACKBONE, n, seed=99).packets_1d()
+
+
+def drive_batch(algorithm, stream, chunk: int = CHUNK):
+    update_many = algorithm.update_many
+    for start in range(0, len(stream), chunk):
+        update_many(stream[start : start + chunk])
+    return algorithm
+
+
+def critical_path_seconds(factory, shards: int, stream) -> Tuple[float, float]:
+    """(total shard apply time, slowest shard apply time) for one pass."""
+    executor = TimingSerialExecutor()
+    sharded = ShardedSketch(factory, shards=shards, executor=executor)
+    per_shard = [0.0] * shards
+    for start in range(0, len(stream), CHUNK):
+        sharded.update_many(stream[start : start + CHUNK])
+        for idx, seconds in enumerate(executor.task_seconds):
+            per_shard[idx] += seconds
+    if shards == 1:
+        # the 1-shard fast path bypasses the executor entirely
+        return (0.0, 0.0)
+    return (sum(per_shard), max(per_shard))
+
+
+def run_harness(
+    n: int = N, warmup: int = 1, repeats: int = 3
+) -> Tuple[List[BenchResult], Dict[str, float], Dict[str, float]]:
+    """Time raw-batch vs sharded ingestion for every case.
+
+    Returns the results, the per-case single-shard ratios (sharded-1
+    ops/sec over raw batch ops/sec), and the per-(case, shards)
+    critical-path speedups.
+    """
+    stream = make_stream(n)
+    results: List[BenchResult] = []
+    ratios: Dict[str, float] = {}
+    scaling: Dict[str, float] = {}
+    for name, factory in CASES:
+        raw = bench(
+            lambda: drive_batch(factory(0), stream),
+            name=f"{name}/batch",
+            ops=n,
+            warmup=warmup,
+            repeats=repeats,
+            metadata={"path": "batch", "case": name, "chunk": CHUNK},
+        )
+        results.append(raw)
+        for shards in SHARD_COUNTS:
+            sharded = bench(
+                lambda: drive_batch(
+                    ShardedSketch(factory, shards=shards), stream
+                ),
+                name=f"{name}/sharded{shards}",
+                ops=n,
+                warmup=warmup,
+                repeats=repeats,
+                metadata={
+                    "path": "sharded",
+                    "case": name,
+                    "chunk": CHUNK,
+                    "shards": shards,
+                    "executor": "serial",
+                },
+            )
+            results.append(sharded)
+            if shards == 1:
+                ratios[name] = sharded.ops_per_sec / raw.ops_per_sec
+            else:
+                total, slowest = critical_path_seconds(factory, shards, stream)
+                scaling[f"{name}/shards{shards}"] = (
+                    total / slowest if slowest > 0 else float("inf")
+                )
+    return results, ratios, scaling
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="small workload for CI: fewer packets, no regression gate",
+    )
+    parser.add_argument(
+        "--out",
+        default=None,
+        help="output JSON path (default: BENCH_sharded_ingest.json at repo root)",
+    )
+    args = parser.parse_args(argv)
+    n = 4_000 if args.smoke else N
+    # best-of-5 keeps the gate stable against scheduler noise
+    repeats = 1 if args.smoke else 5
+    results, ratios, scaling = run_harness(
+        n=n, warmup=0 if args.smoke else 1, repeats=repeats
+    )
+
+    out = args.out or (repo_root() / "BENCH_sharded_ingest.json")
+    write_results(
+        out,
+        results,
+        extra={
+            "workload": {
+                "packets": n,
+                "window": WINDOW,
+                "chunk": CHUNK,
+                "shard_counts": list(SHARD_COUNTS),
+            },
+            "single_shard_ratio": ratios,
+            "critical_path_speedup": scaling,
+            "smoke": args.smoke,
+        },
+    )
+
+    by_name = {r.name: r for r in results}
+    width = max(len(name) for name, _ in CASES)
+    print(
+        f"{'case'.ljust(width)}  {'batch ops/s':>14}  "
+        f"{'sharded1 ops/s':>14}  ratio  critical-path speedup (2/4/8)"
+    )
+    for name, _ in CASES:
+        raw = by_name[f"{name}/batch"]
+        one = by_name[f"{name}/sharded1"]
+        speedups = "/".join(
+            f"{scaling[f'{name}/shards{s}']:.2f}" for s in SHARD_COUNTS[1:]
+        )
+        print(
+            f"{name.ljust(width)}  {raw.ops_per_sec:>14,.0f}  "
+            f"{one.ops_per_sec:>14,.0f}  {ratios[name]:>5.2f}  {speedups}"
+        )
+    print(f"results -> {out}")
+
+    if not args.smoke:
+        failures = [
+            name
+            for name in ratios
+            if ratios[name] < MIN_SINGLE_SHARD_RATIO
+        ]
+        if failures:
+            print(
+                f"FAIL: 1-shard ingestion below {MIN_SINGLE_SHARD_RATIO}x "
+                f"of the raw batch path on: {', '.join(failures)}",
+                file=sys.stderr,
+            )
+            return 1
+    return 0
+
+
+# ----------------------------------------------------------------------
+# pytest-benchmark entry points
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def stream():
+    return make_stream()
+
+
+@pytest.mark.parametrize("shards", SHARD_COUNTS)
+def test_sharded_memento_update_many(benchmark, stream, shards):
+    factory = dict(CASES)["memento_tau0.1"]
+    result = benchmark(
+        lambda: drive_batch(ShardedSketch(factory, shards=shards), stream)
+    )
+    assert result.updates == N
+
+
+@pytest.mark.parametrize("shards", SHARD_COUNTS)
+def test_sharded_space_saving_update_many(benchmark, stream, shards):
+    factory = dict(CASES)["space_saving"]
+    result = benchmark(
+        lambda: drive_batch(ShardedSketch(factory, shards=shards), stream)
+    )
+    assert result.updates == N
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -52,11 +52,25 @@ from .analysis.metrics import (
     precision_recall,
     throughput,
 )
+from .core.api import (
+    MergeableSketch,
+    SlidingSketch,
+    WindowedEntries,
+    WindowedSketch,
+)
 from .core.exact import ExactIntervalCounter, ExactWindowCounter, ExactWindowHHH
 from .core.h_memento import HMemento
 from .core.interval import IntervalScheme
 from .core.memento import WCSS, Memento
-from .core.merge import merge_entry_sets, merge_mst, merge_space_saving
+from .core.merge import (
+    MergedWindowSketch,
+    merge_entry_sets,
+    merge_h_memento,
+    merge_memento,
+    merge_mst,
+    merge_space_saving,
+    merge_windowed_entry_sets,
+)
 from .core.mst import MST, WindowBaseline
 from .core.rhhh import RHHH
 from .core.sampling import (
@@ -87,6 +101,14 @@ from .netwide.budget import BudgetModel, figure4_series
 from .netwide.controller import AggregationController, SketchController
 from .netwide.measurement_point import AggregatingPoint, SamplingPoint
 from .netwide.simulation import NetwideConfig, NetwideSystem, run_error_experiment
+from .sharding import (
+    ProcessExecutor,
+    SerialExecutor,
+    ShardedSketch,
+    ThreadExecutor,
+    make_executor,
+    shard_index,
+)
 from .traffic.flood import FloodSpec, FloodTrace, inject_flood
 from .traffic.http import HttpRequest, HttpTrafficGenerator
 from .traffic.packet import Packet
@@ -115,6 +137,22 @@ __all__ = [
     "merge_space_saving",
     "merge_entry_sets",
     "merge_mst",
+    "merge_windowed_entry_sets",
+    "merge_memento",
+    "merge_h_memento",
+    "MergedWindowSketch",
+    # protocols
+    "SlidingSketch",
+    "MergeableSketch",
+    "WindowedSketch",
+    "WindowedEntries",
+    # sharding
+    "ShardedSketch",
+    "shard_index",
+    "SerialExecutor",
+    "ThreadExecutor",
+    "ProcessExecutor",
+    "make_executor",
     "VolumetricMemento",
     "VolumetricSpaceSaving",
     "ChangeEvent",

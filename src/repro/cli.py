@@ -62,6 +62,15 @@ def build_parser() -> argparse.ArgumentParser:
                 action="store_true",
                 help="skip the Monte-Carlo verification columns",
             )
+        if name == "fig9":
+            p.add_argument(
+                "--shards",
+                type=int,
+                default=1,
+                help="controller ingestion shards (hash-partitioned "
+                "sliding-window sketches with merge-on-query; 1 = the "
+                "single-sketch path)",
+            )
         if name == "fig10":
             p.add_argument(
                 "--timeline",
@@ -78,6 +87,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     module = _FIGURES[args.figure]
     if args.figure == "fig4":
         rows = module.worked_example() if args.worked else module.run()
+    elif args.figure == "fig9":
+        rows = module.run(seed=args.seed, shards=args.shards)
     elif args.figure == "fig1b":
         rows = module.run(simulate=not args.no_simulate, seed=args.seed)
     elif args.figure == "fig10" and args.timeline:

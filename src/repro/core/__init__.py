@@ -1,10 +1,25 @@
 """Single-device algorithms: Memento, H-Memento, and the paper's baselines."""
 
+from .api import (
+    Entry,
+    MergeableSketch,
+    SlidingSketch,
+    WindowedEntries,
+    WindowedSketch,
+)
 from .exact import ExactIntervalCounter, ExactWindowCounter, ExactWindowHHH
 from .h_memento import HMemento
 from .interval import IntervalScheme
 from .memento import WCSS, Memento
-from .merge import merge_entry_sets, merge_mst, merge_space_saving
+from .merge import (
+    MergedWindowSketch,
+    merge_entry_sets,
+    merge_h_memento,
+    merge_memento,
+    merge_mst,
+    merge_space_saving,
+    merge_windowed_entry_sets,
+)
 from .mst import MST, WindowBaseline
 from .rhhh import RHHH
 from .sampling import (
@@ -18,6 +33,11 @@ from .space_saving import SpaceSaving
 from .volumetric import VolumetricMemento, VolumetricSpaceSaving
 
 __all__ = [
+    "Entry",
+    "SlidingSketch",
+    "MergeableSketch",
+    "WindowedSketch",
+    "WindowedEntries",
     "ExactIntervalCounter",
     "ExactWindowCounter",
     "ExactWindowHHH",
@@ -37,6 +57,10 @@ __all__ = [
     "merge_space_saving",
     "merge_entry_sets",
     "merge_mst",
+    "merge_windowed_entry_sets",
+    "merge_memento",
+    "merge_h_memento",
+    "MergedWindowSketch",
     "VolumetricMemento",
     "VolumetricSpaceSaving",
 ]

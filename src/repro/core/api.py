@@ -1,0 +1,163 @@
+"""The unified sketch protocol: what every ingestion surface agrees on.
+
+The PR-1 batch engine gave every sketch the same trio of entry points
+(``update`` / ``update_many`` / ``extend``); the sharding layer and the
+network-wide controllers build on that shape rather than on concrete
+classes.  This module names the contracts:
+
+* :class:`SlidingSketch` — the streaming surface every sketch exposes:
+  scalar and batched ingestion plus a point query.  Memento, WCSS,
+  H-Memento, Space Saving, MST, WindowBaseline, RHHH and the exact
+  oracles all conform.
+* :class:`MergeableSketch` — a sliding sketch whose state can be
+  snapshotted as ``(key, estimate, guaranteed)`` rows (Section 4.3's
+  "the content of two HH instances can be efficiently merged").  The
+  snapshots are what :mod:`repro.core.merge` combines and what crosses
+  the wire in aggregation reports.
+* :class:`WindowedSketch` — a sliding sketch that can advance its window
+  without inserting (``ingest_gap``), plus the externally-sampled
+  ingestion pair used by the D-Memento controller path.  This is the
+  capability the sharded ingestion layer keys on: a shard can own a
+  subset of the stream while staying aligned with the *global* window.
+* :class:`WindowedEntries` — a mergeable snapshot annotated with its
+  window geometry (window length, frame offset, sampling rate, overflow
+  quantum), so merges of Memento-family state can check window
+  alignment and carry the combined error bound.
+
+All protocols are ``runtime_checkable``: ``isinstance(sketch,
+SlidingSketch)`` verifies the method surface (not signatures), which is
+how the conformance tests and the sharding layer's capability detection
+work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import (
+    Hashable,
+    Iterable,
+    List,
+    Optional,
+    Protocol,
+    Tuple,
+    runtime_checkable,
+)
+
+__all__ = [
+    "Entry",
+    "SlidingSketch",
+    "MergeableSketch",
+    "WindowedSketch",
+    "WindowedEntries",
+]
+
+#: One mergeable snapshot row: ``(key, estimate, guaranteed)``.  The
+#: estimate upper-bounds the true count, the guaranteed part lower-bounds
+#: it; summing rows per key preserves both directions, which is what makes
+#: the snapshots mergeable.
+Entry = Tuple[Hashable, int, int]
+
+
+@runtime_checkable
+class SlidingSketch(Protocol):
+    """The streaming surface shared by every sketch in the repository.
+
+    ``update`` processes one item, ``update_many`` a materialized batch
+    (list/tuple fast path), ``extend`` any iterable in chunks, and
+    ``query`` returns the (possibly scaled) frequency estimate.  Batch
+    and scalar ingestion must agree on final state under a fixed seed —
+    the contract pinned by ``tests/core/test_batch_equivalence.py``.
+    """
+
+    def update(self, item) -> None: ...
+
+    def update_many(self, items) -> None: ...
+
+    def extend(self, iterable: Iterable, chunk_size: int = 4096) -> None: ...
+
+    def query(self, item) -> float: ...
+
+
+@runtime_checkable
+class MergeableSketch(SlidingSketch, Protocol):
+    """A sliding sketch whose state snapshots to mergeable entry rows.
+
+    ``entries()`` returns ``(key, estimate, guaranteed)`` rows in the
+    sketch's *native* (unscaled) units: Space Saving counts for the
+    interval sketches, sampled-count raw estimates for the Memento
+    family.  :mod:`repro.core.merge` sums rows per key and re-ranks,
+    preserving the combined ``Σ nᵢ/m`` overestimation bound.
+    """
+
+    def entries(self) -> List[Entry]: ...
+
+
+@runtime_checkable
+class WindowedSketch(SlidingSketch, Protocol):
+    """A sliding-window sketch that separates insertion from the slide.
+
+    ``ingest_gap(count)`` advances the window for ``count`` packets that
+    were observed but not inserted (unsampled, or owned by another
+    shard); ``ingest_sample`` / ``ingest_samples`` apply Full updates to
+    externally-sampled packets without a second coin flip.  The
+    D-Memento controller (Section 4.3) and the sharded ingestion layer
+    are both built on exactly this split.
+    """
+
+    def ingest_gap(self, count: int) -> None: ...
+
+    def ingest_sample(self, item) -> None: ...
+
+    def ingest_samples(self, items) -> None: ...
+
+
+@dataclass(frozen=True)
+class WindowedEntries:
+    """A mergeable snapshot annotated with its window geometry.
+
+    Parameters
+    ----------
+    entries:
+        The ``(key, estimate, guaranteed)`` rows, in native sampled-count
+        units (pre ``1/tau`` scaling).
+    window:
+        The effective window length in stream packets.  Snapshots merge
+        only when their windows match — merging sketches that span
+        different histories has no coherent reference window.
+    frame_offset:
+        Position within the current frame (``M mod W`` of Algorithm 1)
+        at snapshot time.  Carried so callers can reason about how far
+        the contributing sketches had diverged within a frame.
+    tau:
+        Full-update sampling probability; query-time estimates scale by
+        ``1/tau``.  Merging requires equal ``tau`` so one scale applies.
+    quantum:
+        The overflow quantum (``sample_block``) in sampled-count units —
+        the per-sketch error unit.  A merged snapshot's one-sided error
+        is at most ``4 · Σ quantumᵢ``, the windowed analogue of the
+        mergeable-summaries ``Σ nᵢ/m`` bound.
+    nominal_window:
+        The *requested* window ``W`` before block rounding (Memento's
+        ``effective_window`` is ``W`` rounded up to a block multiple).
+        Heavy-hitter thresholds are defined against this value, matching
+        ``Memento.heavy_hitters``; ``None`` means "same as window".
+    """
+
+    entries: Tuple[Entry, ...]
+    window: int
+    frame_offset: int = 0
+    tau: float = 1.0
+    quantum: int = 1
+    nominal_window: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.window <= 0:
+            raise ValueError(f"window must be positive, got {self.window}")
+        if not 0.0 < self.tau <= 1.0:
+            raise ValueError(f"tau must be in (0, 1], got {self.tau}")
+        if self.quantum <= 0:
+            raise ValueError(f"quantum must be positive, got {self.quantum}")
+        if self.nominal_window is not None and self.nominal_window <= 0:
+            raise ValueError(
+                f"nominal_window must be positive, got {self.nominal_window}"
+            )

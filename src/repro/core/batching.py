@@ -1,15 +1,25 @@
 """Shared plumbing for the batch ingestion engine.
 
 Small helpers used by every sketch's batch entry points, so the chunking
-and per-pattern regrouping logic exists exactly once.
+and per-pattern regrouping logic exists exactly once:
+
+* :func:`iter_chunks` — incremental chunking behind every ``extend``;
+* :func:`as_batch` — the list/tuple coercion every ``update_many``
+  fast path performs before hoisting its loop onto locals;
+* :class:`BatchIngest` — the mixin that gives a sketch the shared
+  ``extend`` (and a scalar-loop ``update_many`` fallback), so the
+  chunking bookkeeping lives here exactly once instead of being
+  re-implemented per class;
+* :func:`regroup_by_pattern` — the per-pattern regrouping used by the
+  lattice sketches (MST, WindowBaseline, ExactWindowHHH).
 """
 
 from __future__ import annotations
 
 from itertools import islice
-from typing import Iterable, Iterator, List
+from typing import Iterable, Iterator, List, Sequence, Union
 
-__all__ = ["iter_chunks", "regroup_by_pattern"]
+__all__ = ["iter_chunks", "as_batch", "BatchIngest", "regroup_by_pattern"]
 
 
 def iter_chunks(iterable: Iterable, chunk_size: int) -> Iterator[list]:
@@ -23,6 +33,47 @@ def iter_chunks(iterable: Iterable, chunk_size: int) -> Iterator[list]:
     it = iter(iterable)
     while chunk := list(islice(it, chunk_size)):
         yield chunk
+
+
+def as_batch(items: Iterable) -> Union[list, tuple]:
+    """Coerce ``items`` to an indexable batch (list/tuple pass through).
+
+    Every ``update_many`` fast path starts with this so generators and
+    other one-shot iterables are materialized exactly once before the
+    hoisted loop runs over locals.
+    """
+    if isinstance(items, (list, tuple)):
+        return items
+    return list(items)
+
+
+class BatchIngest:
+    """Mixin providing the shared chunked-ingestion surface.
+
+    Subclasses implement ``update`` (scalar) and usually override
+    ``update_many`` with a hoisted fast path; the mixin contributes:
+
+    * ``update_many`` — a scalar-loop fallback, so a sketch conforms to
+      :class:`repro.core.api.SlidingSketch` the moment it has ``update``;
+    * ``extend`` — chunked feeding of arbitrary iterables through
+      ``update_many``, the bookkeeping previously re-implemented in
+      every sketch class.
+
+    ``__slots__`` is empty so slotted sketches keep their layout.
+    """
+
+    __slots__ = ()
+
+    def update_many(self, items: Sequence) -> None:
+        """Process a batch via the scalar path (override for speed)."""
+        update = self.update
+        for item in as_batch(items):
+            update(item)
+
+    def extend(self, iterable: Iterable, chunk_size: int = 4096) -> None:
+        """Feed an arbitrary iterable through ``update_many`` in chunks."""
+        for chunk in iter_chunks(iterable, chunk_size):
+            self.update_many(chunk)
 
 
 def regroup_by_pattern(hierarchy, packets, num_patterns: int) -> List[list]:

@@ -22,7 +22,8 @@ from __future__ import annotations
 from collections import Counter
 from typing import Dict, Hashable, Iterable, Iterator, List, Optional, Sequence, Tuple
 
-from .batching import regroup_by_pattern
+from .api import Entry
+from .batching import BatchIngest, as_batch, regroup_by_pattern
 
 __all__ = [
     "ExactWindowCounter",
@@ -31,7 +32,7 @@ __all__ = [
 ]
 
 
-class ExactWindowCounter:
+class ExactWindowCounter(BatchIngest):
     """Exact sliding-window frequency counter over the last ``window`` items.
 
     Parameters
@@ -81,8 +82,7 @@ class ExactWindowCounter:
     def update_many(self, items: Sequence[Hashable]) -> None:
         """Append a batch of items; identical to ``update`` per item but
         with the ring/count bookkeeping hoisted to locals."""
-        if not isinstance(items, (list, tuple)):
-            items = list(items)
+        items = as_batch(items)
         counts = self._counts
         counts_get = counts.get
         ring = self._ring
@@ -103,6 +103,62 @@ class ExactWindowCounter:
             counts[item] = counts_get(item, 0) + 1
         self._pos = pos
         self._total += len(items)
+
+    def ingest_gap(self, count: int) -> None:
+        """Advance the window for ``count`` observed-but-uncounted packets.
+
+        The slots they occupy expire whatever they displace but hold no
+        key, so queries keep reflecting exactly the last ``window``
+        *stream* packets.  This is what lets a hash-partitioned shard own
+        a subset of the keys while staying aligned with the global
+        window (the sharding layer's exact-oracle mode), mirroring
+        ``Memento.ingest_gap`` on the reference counter.
+        """
+        if count < 0:
+            raise ValueError(f"count must be non-negative, got {count}")
+        counts = self._counts
+        ring = self._ring
+        window = self.window
+        pos = self._pos
+        if count >= window:
+            # the whole window slides past: everything expires at once
+            counts.clear()
+            for i in range(window):
+                ring[i] = None
+            pos = (pos + count) % window
+        else:
+            for _ in range(count):
+                old = ring[pos]
+                if old is not None:
+                    remaining = counts[old] - 1
+                    if remaining:
+                        counts[old] = remaining
+                    else:
+                        del counts[old]
+                ring[pos] = None
+                pos += 1
+                if pos == window:
+                    pos = 0
+        self._pos = pos
+        self._total += count
+
+    def ingest_sample(self, item: Hashable) -> None:
+        """Count one externally-routed packet (uniform windowed surface).
+
+        The exact counter has no sampling of its own, so this is plain
+        :meth:`update`; it exists so the counter satisfies the
+        :class:`repro.core.api.WindowedSketch` protocol and can serve as
+        the reference algorithm in controller/sharding harnesses.
+        """
+        self.update(item)
+
+    def ingest_samples(self, items: Sequence[Hashable]) -> None:
+        """Batch form of :meth:`ingest_sample`."""
+        self.update_many(items)
+
+    def entries(self) -> List[Entry]:
+        """Exact mergeable snapshot: estimate and guaranteed coincide."""
+        return [(key, count, count) for key, count in self._counts.items()]
 
     def query(self, item: Hashable) -> int:
         """Return the exact frequency of ``item`` in the current window."""
@@ -138,7 +194,7 @@ class ExactWindowCounter:
         return len(self._counts)
 
 
-class ExactIntervalCounter:
+class ExactIntervalCounter(BatchIngest):
     """Exact counter over reset-delimited intervals (the Interval method).
 
     The paper's Interval method (Section 3) runs sequential measurements of
@@ -174,8 +230,7 @@ class ExactIntervalCounter:
     def update_many(self, items: Sequence[Hashable]) -> None:
         """Count a batch; interval rolls happen at the same stream offsets
         as the scalar loop, with each segment counted at C speed."""
-        if not isinstance(items, (list, tuple)):
-            items = list(items)
+        items = as_batch(items)
         n = len(items)
         i = 0
         while i < n:
@@ -218,7 +273,7 @@ class ExactIntervalCounter:
         return {k: v for k, v in self._last.items() if v > bar}
 
 
-class ExactWindowHHH:
+class ExactWindowHHH(BatchIngest):
     """Exact window frequencies for every prefix of a hierarchy.
 
     This is the ground truth for the HHH experiments (Figure 8): it feeds
@@ -250,8 +305,7 @@ class ExactWindowHHH:
     def update_many(self, packets: Sequence) -> None:
         """Feed a batch: per-pattern regrouping over the counters'
         ``update_many`` (the patterns are independent)."""
-        if not isinstance(packets, (list, tuple)):
-            packets = list(packets)
+        packets = as_batch(packets)
         per_pattern = regroup_by_pattern(
             self.hierarchy, packets, len(self._counters)
         )

@@ -27,15 +27,15 @@ from __future__ import annotations
 import math
 import warnings
 from itertools import compress
-from typing import Dict, Hashable, Iterable, Optional, Sequence, Set
-
-from .batching import iter_chunks
+from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Set
 
 import numpy as np
 
 from ..analysis.error_model import z_quantile
 from ..hierarchy.domain import Hierarchy
 from ..hierarchy.hhh_output import compute_hhh
+from .api import Entry, WindowedEntries
+from .batching import BatchIngest, as_batch
 from .memento import Memento
 from .sampling import draw_decisions, make_sampler
 
@@ -45,7 +45,7 @@ __all__ = ["HMemento"]
 MIN_PER_PATTERN_RATE = 2.0**-10
 
 
-class HMemento:
+class HMemento(BatchIngest):
     """Sliding-window hierarchical heavy hitters via one shared Memento.
 
     Parameters
@@ -174,8 +174,7 @@ class HMemento:
         pattern draws happen in arrival order, runs of unsampled packets
         collapse into the shared Memento's ``ingest_gap`` arithmetic.
         """
-        if not isinstance(packets, (list, tuple)):
-            packets = list(packets)
+        packets = as_batch(packets)
         n = len(packets)
         if n == 0:
             return
@@ -197,11 +196,6 @@ class HMemento:
         if tail:
             ingest_gap(tail)
 
-    def extend(self, iterable: Iterable, chunk_size: int = 4096) -> None:
-        """Feed an arbitrary iterable through :meth:`update_many` in chunks."""
-        for chunk in iter_chunks(iterable, chunk_size):
-            self.update_many(chunk)
-
     def ingest_sample(self, packet) -> None:
         """Feed an externally-sampled packet (network-wide controller path).
 
@@ -215,8 +209,7 @@ class HMemento:
 
     def ingest_samples(self, packets: Sequence) -> None:
         """Batch form of :meth:`ingest_sample`: one Full update per packet."""
-        if not isinstance(packets, (list, tuple)):
-            packets = list(packets)
+        packets = as_batch(packets)
         self._updates += len(packets)
         next_pattern = self._next_pattern
         prefix_at = self.hierarchy.prefix_at
@@ -287,6 +280,19 @@ class HMemento:
     def candidates(self) -> Iterable:
         """Prefixes currently holding a counter in the shared sketch."""
         return self._memento.candidates()
+
+    def entries(self) -> List[Entry]:
+        """Mergeable snapshot of the shared sketch (raw sampled units).
+
+        Rows carry the inner Memento's per-pattern sampling rate
+        ``tau / H``, so the merge layer's single ``1/tau`` scaling is
+        exactly the paper's ``V = H / tau`` multiplier.
+        """
+        return self._memento.entries()
+
+    def windowed_entries(self) -> WindowedEntries:
+        """Window-annotated snapshot (see ``Memento.windowed_entries``)."""
+        return self._memento.windowed_entries()
 
     def heavy_prefixes(self, theta: float) -> Dict[Hashable, float]:
         """Raw per-prefix estimates above ``theta * W`` (no conditioning).

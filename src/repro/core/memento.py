@@ -45,9 +45,10 @@ from __future__ import annotations
 import math
 from collections import deque
 from itertools import compress
-from typing import Deque, Dict, Hashable, Iterable, Iterator, Optional, Sequence
+from typing import Deque, Dict, Hashable, Iterator, List, Optional, Sequence
 
-from .batching import iter_chunks
+from .api import Entry, WindowedEntries
+from .batching import BatchIngest, as_batch
 
 from .sampling import (
     BernoulliSampler,
@@ -66,7 +67,7 @@ __all__ = ["Memento", "WCSS"]
 _ALWAYS_SAMPLE_AT_TAU1 = (TableSampler, GeometricSampler, BernoulliSampler)
 
 
-class Memento:
+class Memento(BatchIngest):
     """Sliding-window heavy-hitter sketch (Algorithm 1 of the paper).
 
     Parameters
@@ -221,8 +222,7 @@ class Memento:
         countdown, block index, and queue handles only touch ``self`` at
         block boundaries and once at the end of the batch.
         """
-        if not isinstance(items, (list, tuple)):
-            items = list(items)
+        items = as_batch(items)
         y = self._y
         y_add_query = y.add_query
         y_flush = y.flush
@@ -282,8 +282,7 @@ class Memento:
         collapse into :meth:`ingest_gap` arithmetic, and sampled packets
         take the hoisted Full-update path.
         """
-        if not isinstance(items, (list, tuple)):
-            items = list(items)
+        items = as_batch(items)
         n = len(items)
         if n == 0:
             return
@@ -407,11 +406,6 @@ class Memento:
         tail = n - 1 - prev
         if tail:
             self.ingest_gap(tail)
-
-    def extend(self, iterable: Iterable[Hashable], chunk_size: int = 4096) -> None:
-        """Feed an arbitrary iterable through :meth:`update_many` in chunks."""
-        for chunk in iter_chunks(iterable, chunk_size):
-            self.update_many(chunk)
 
     def ingest_sample(self, item: Hashable) -> None:
         """Feed an externally-sampled packet (network-wide controller path).
@@ -554,6 +548,37 @@ class Memento:
         for item, _ in self._y.items():
             if item not in seen:
                 yield item
+
+    def entries(self) -> List[Entry]:
+        """Mergeable snapshot: ``(key, estimate, guaranteed)`` per candidate.
+
+        Counts are in *raw sampled units* (no ``1/tau`` scaling), matching
+        :meth:`query_raw` / :meth:`query_lower_raw`, so summing rows across
+        same-``tau`` sketches stays meaningful; the merge layer applies
+        the scaling once.  This is the window-sketch counterpart of
+        ``SpaceSaving.entries``.
+        """
+        return [
+            (key, self.query_raw(key), self.query_lower_raw(key))
+            for key in self.candidates()
+        ]
+
+    def windowed_entries(self) -> WindowedEntries:
+        """The :meth:`entries` snapshot annotated with window geometry.
+
+        Carries the effective window, the current frame offset, ``tau``,
+        and the overflow quantum — everything
+        :func:`repro.core.merge.merge_memento` needs to check alignment
+        and to propagate the combined error bound.
+        """
+        return WindowedEntries(
+            entries=tuple(self.entries()),
+            window=self.effective_window,
+            frame_offset=self.frame_position,
+            tau=self.tau,
+            quantum=self.sample_block,
+            nominal_window=self.window,
+        )
 
     # ------------------------------------------------------------------
     # introspection

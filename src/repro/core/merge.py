@@ -17,19 +17,33 @@ This module implements that substrate:
   reports.
 * :func:`merge_mst` — lattice-wise merge of two MST instances (one Space
   Saving merge per prefix pattern).
+* :func:`merge_windowed_entry_sets` — the *window-aware* generalization:
+  snapshots annotated with their window geometry
+  (:class:`repro.core.api.WindowedEntries`) merge only when their windows
+  align, and the combined snapshot carries the summed error quantum.
+* :func:`merge_memento` / :func:`merge_h_memento` — merge live Memento /
+  H-Memento instances into a read-only :class:`MergedWindowSketch`, the
+  principled combine step behind sharded sliding-window queries.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, Iterable, List, Sequence, Tuple
+from typing import Dict, Hashable, Iterable, List, Optional, Sequence
 
 from ..hierarchy.domain import Hierarchy
+from .api import Entry, WindowedEntries
 from .mst import MST
 from .space_saving import SpaceSaving
 
-__all__ = ["merge_space_saving", "merge_entry_sets", "merge_mst"]
-
-Entry = Tuple[Hashable, int, int]  # (key, estimate, guaranteed)
+__all__ = [
+    "merge_space_saving",
+    "merge_entry_sets",
+    "merge_mst",
+    "merge_windowed_entry_sets",
+    "merge_memento",
+    "merge_h_memento",
+    "MergedWindowSketch",
+]
 
 
 def merge_entry_sets(
@@ -41,13 +55,22 @@ def merge_entry_sets(
     ``counters`` keys (by merged estimate) survive, exactly as a Space
     Saving instance of that size would retain them.
 
+    An empty ``entry_sets`` sequence is a valid merge of nothing and
+    returns ``[]`` — callers folding a variable number of reports never
+    need a special case.  ``counters`` must be positive regardless, since
+    a zero-capacity merged sketch is meaningless.
+
     >>> a = [("x", 5, 4), ("y", 2, 2)]
     >>> b = [("x", 3, 3), ("z", 9, 7)]
     >>> merge_entry_sets([a, b], counters=2)
     [('z', 9, 7), ('x', 8, 7)]
+    >>> merge_entry_sets([], counters=4)
+    []
     """
     if counters <= 0:
         raise ValueError(f"counters must be positive, got {counters}")
+    if not entry_sets:
+        return []
     estimates: Dict[Hashable, int] = {}
     guaranteed: Dict[Hashable, int] = {}
     for entries in entry_sets:
@@ -61,7 +84,7 @@ def merge_entry_sets(
 
 
 def merge_space_saving(
-    sketches: Sequence[SpaceSaving], counters: int = 0
+    sketches: Sequence[SpaceSaving], counters: Optional[int] = None
 ) -> SpaceSaving:
     """Merge Space Saving instances into a fresh one.
 
@@ -70,7 +93,10 @@ def merge_space_saving(
     sketches:
         The input instances (unmodified).
     counters:
-        Size of the merged sketch; defaults to the maximum input size.
+        Size of the merged sketch.  ``None`` (and, for backward
+        compatibility, ``0``) means "the maximum input size" — the
+        smallest capacity that loses nothing relative to the widest
+        input.  Negative values are rejected.
 
     The merged estimates upper-bound the true combined counts, and the
     combined additive error is at most ``Σ nᵢ / m`` — the mergeable-
@@ -78,7 +104,7 @@ def merge_space_saving(
     """
     if not sketches:
         raise ValueError("need at least one sketch to merge")
-    m = counters or max(s.counters for s in sketches)
+    m = _resolve_counters(counters, (s.counters for s in sketches))
     merged_entries = merge_entry_sets([s.entries() for s in sketches], m)
     out = SpaceSaving(m)
     # rebuild: weighted adds preserve the summed estimates exactly because
@@ -92,7 +118,20 @@ def merge_space_saving(
     return out
 
 
-def merge_mst(instances: Sequence[MST], counters: int = 0) -> MST:
+def _resolve_counters(counters: Optional[int], defaults: Iterable[int]) -> int:
+    """Explicit counter-budget defaulting shared by every sketch merge.
+
+    ``None`` or ``0`` selects the maximum input budget; negative values
+    are an error rather than a silently-truthy surprise.
+    """
+    if counters is None or counters == 0:
+        return max(defaults)
+    if counters < 0:
+        raise ValueError(f"counters must be positive, got {counters}")
+    return counters
+
+
+def merge_mst(instances: Sequence[MST], counters: Optional[int] = None) -> MST:
     """Merge MST lattices pattern-by-pattern.
 
     All inputs must share the same hierarchy.  Each prefix pattern's Space
@@ -107,7 +146,7 @@ def merge_mst(instances: Sequence[MST], counters: int = 0) -> MST:
             other.hierarchy.num_patterns != hierarchy.num_patterns
         ):
             raise ValueError("cannot merge MSTs over different hierarchies")
-    m = counters or max(inst.counters for inst in instances)
+    m = _resolve_counters(counters, (inst.counters for inst in instances))
     merged = MST(hierarchy, counters=m)
     merged._instances = [
         merge_space_saving(
@@ -117,3 +156,176 @@ def merge_mst(instances: Sequence[MST], counters: int = 0) -> MST:
     ]
     merged._packets = sum(inst.packets for inst in instances)
     return merged
+
+
+def merge_windowed_entry_sets(
+    snapshots: Sequence[WindowedEntries], counters: int
+) -> WindowedEntries:
+    """Merge window-annotated snapshots (the sharded combine step).
+
+    The window-aware generalization of :func:`merge_entry_sets`: inputs
+    must share the same effective window and sampling rate ``tau`` (a
+    merge across different reference windows has no coherent meaning),
+    entries are summed per key and re-ranked, and the merged snapshot
+    carries:
+
+    * ``frame_offset`` — the maximum input offset, i.e. how far into the
+      current frame the most-advanced contributor was;
+    * ``quantum`` — the *sum* of input quanta: each contributor's
+      one-sided error is bounded by its own quantum-sized blocks, so the
+      merged estimate's error bound is the sum — the sliding-window
+      analogue of the mergeable-summaries ``Σ nᵢ/m`` bound.
+    """
+    if not snapshots:
+        raise ValueError("need at least one snapshot to merge")
+    window = snapshots[0].window
+    tau = snapshots[0].tau
+    for snap in snapshots[1:]:
+        if snap.window != window:
+            raise ValueError(
+                f"cannot merge snapshots over different windows: "
+                f"{snap.window} != {window}"
+            )
+        if abs(snap.tau - tau) > 1e-12:
+            raise ValueError(
+                f"cannot merge snapshots with different tau: "
+                f"{snap.tau} != {tau}"
+            )
+    merged = merge_entry_sets([snap.entries for snap in snapshots], counters)
+    # matching (window, tau) implies matching block geometry, so nominal
+    # windows can only disagree when a caller hand-built the snapshots;
+    # keep the smallest (the most conservative heavy-hitter bar)
+    nominals = [
+        snap.nominal_window
+        for snap in snapshots
+        if snap.nominal_window is not None
+    ]
+    return WindowedEntries(
+        entries=tuple(merged),
+        window=window,
+        frame_offset=max(snap.frame_offset for snap in snapshots),
+        tau=tau,
+        quantum=sum(snap.quantum for snap in snapshots),
+        nominal_window=min(nominals) if nominals else None,
+    )
+
+
+class MergedWindowSketch:
+    """Read-only combined view over merged Memento-family snapshots.
+
+    Wraps a merged :class:`WindowedEntries` and answers the usual query
+    surface in *scaled* units.  Unknown keys return the conservative
+    floor ``2 · quantum / tau`` (every contributor may hide up to two
+    quantum-sized blocks of an untracked key), keeping the view an upper
+    bound exactly as each contributing sketch is.
+    """
+
+    def __init__(self, snapshot: WindowedEntries, scale: Optional[float] = None):
+        self.snapshot = snapshot
+        self.window = (
+            snapshot.window
+            if snapshot.nominal_window is None
+            else snapshot.nominal_window
+        )
+        #: query-time multiplier; defaults to ``1/tau`` of the snapshot
+        self.scale = (1.0 / snapshot.tau) if scale is None else float(scale)
+        self._upper: Dict[Hashable, int] = {}
+        self._lower: Dict[Hashable, int] = {}
+        for key, est, low in snapshot.entries:
+            self._upper[key] = est
+            self._lower[key] = low
+
+    def query(self, key: Hashable) -> float:
+        """Scaled upper-bound window estimate for ``key``."""
+        est = self._upper.get(key)
+        if est is None:
+            est = 2 * self.snapshot.quantum
+        return self.scale * est
+
+    def query_lower(self, key: Hashable) -> float:
+        """Scaled guaranteed part (0 for untracked keys)."""
+        return self.scale * self._lower.get(key, 0)
+
+    def query_point(self, key: Hashable) -> float:
+        """Midpoint estimate: the conservative two-block shift removed."""
+        est = self._upper.get(key)
+        if est is None:
+            return 0.0
+        raw = est - 2 * self.snapshot.quantum
+        return self.scale * raw if raw > 0 else 0.0
+
+    def candidates(self) -> Iterable[Hashable]:
+        """Keys retained by the merge."""
+        return self._upper.keys()
+
+    def entries(self) -> List[Entry]:
+        """The merged ``(key, estimate, guaranteed)`` rows (raw units)."""
+        return list(self.snapshot.entries)
+
+    def heavy_hitters(self, theta: float) -> Dict[Hashable, float]:
+        """Merged keys whose scaled estimate exceeds ``theta · window``."""
+        bar = theta * self.window
+        out: Dict[Hashable, float] = {}
+        for key, est in self._upper.items():
+            scaled = self.scale * est
+            if scaled > bar:
+                out[key] = scaled
+        return out
+
+    def __len__(self) -> int:
+        return len(self._upper)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return (
+            f"MergedWindowSketch(window={self.window}, "
+            f"entries={len(self._upper)}, scale={self.scale:g})"
+        )
+
+
+def merge_memento(sketches: Sequence, counters: Optional[int] = None) -> MergedWindowSketch:
+    """Merge Memento/WCSS instances into a read-only combined view.
+
+    All inputs must share the same effective window and ``tau`` (and
+    hence the same overflow quantum).  Per-key raw estimates and
+    guaranteed counts are summed and the heaviest ``counters`` keys kept
+    (default: the maximum input counter budget), so a query against the
+    result upper-bounds the true combined window count with one-sided
+    error at most ``4 · Σ quantumᵢ / tau`` after scaling — the windowed
+    ``Σ nᵢ/m`` bound.  This is the combine step behind sharded
+    sliding-window queries (Section 4.3's mergeability, lifted to
+    windows).
+    """
+    if not sketches:
+        raise ValueError("need at least one sketch to merge")
+    m = _resolve_counters(counters, (s.k for s in sketches))
+    snapshot = merge_windowed_entry_sets(
+        [s.windowed_entries() for s in sketches], counters=m
+    )
+    return MergedWindowSketch(snapshot)
+
+
+def merge_h_memento(sketches: Sequence, counters: Optional[int] = None) -> MergedWindowSketch:
+    """Merge H-Memento instances into a read-only combined view.
+
+    Inputs must share one hierarchy (same pattern count) besides the
+    window/tau alignment of :func:`merge_memento`.  The snapshots come
+    from the shared inner Memento, whose per-pattern rate is ``tau / H``,
+    so the merged view's ``1/tau`` scaling is exactly the paper's
+    ``V = H / tau`` multiplier; keys are prefixes and
+    ``heavy_hitters(theta)`` yields the merged heavy-prefix map.
+    """
+    if not sketches:
+        raise ValueError("need at least one sketch to merge")
+    hierarchy = sketches[0].hierarchy
+    for other in sketches[1:]:
+        if other.hierarchy is not hierarchy and (
+            other.hierarchy.num_patterns != hierarchy.num_patterns
+        ):
+            raise ValueError(
+                "cannot merge H-Mementos over different hierarchies"
+            )
+    m = _resolve_counters(counters, (s.counters for s in sketches))
+    snapshot = merge_windowed_entry_sets(
+        [s.windowed_entries() for s in sketches], counters=m
+    )
+    return MergedWindowSketch(snapshot)

@@ -25,14 +25,15 @@ from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Set
 
 from ..hierarchy.domain import Hierarchy
 from ..hierarchy.hhh_output import compute_hhh
-from .batching import iter_chunks, regroup_by_pattern
+from .api import Entry
+from .batching import BatchIngest, as_batch, regroup_by_pattern
 from .memento import Memento
 from .space_saving import SpaceSaving
 
 __all__ = ["MST", "WindowBaseline"]
 
 
-class MST:
+class MST(BatchIngest):
     """Interval HHH over per-pattern Space Saving instances.
 
     Parameters
@@ -82,8 +83,7 @@ class MST:
         *across* patterns (while preserving order *within* each) leaves
         every instance byte-identical to the scalar loop.
         """
-        if not isinstance(packets, (list, tuple)):
-            packets = list(packets)
+        packets = as_batch(packets)
         self._packets += len(packets)
         per_pattern = regroup_by_pattern(
             self.hierarchy, packets, len(self._instances)
@@ -91,11 +91,6 @@ class MST:
         for instance, prefixes in zip(self._instances, per_pattern):
             if prefixes:
                 instance.update_many(prefixes)
-
-    def extend(self, iterable: Iterable, chunk_size: int = 4096) -> None:
-        """Feed an arbitrary iterable through :meth:`update_many` in chunks."""
-        for chunk in iter_chunks(iterable, chunk_size):
-            self.update_many(chunk)
 
     def query(self, prefix) -> float:
         """Upper-bound estimate of the prefix count since the last reset."""
@@ -120,6 +115,18 @@ class MST:
         for instance in self._instances:
             for prefix, _ in instance.items():
                 yield prefix
+
+    def entries(self) -> List[Entry]:
+        """Flat mergeable snapshot across all pattern instances.
+
+        Prefixes are unique to their pattern, so concatenating the
+        per-instance snapshots loses nothing; :func:`merge_mst` remains
+        the lattice-aware merge when instance structure matters.
+        """
+        out: List[Entry] = []
+        for instance in self._instances:
+            out.extend(instance.entries())
+        return out
 
     def output(self, theta: float) -> Set:
         """Approximate HHH set over the packets since the last reset."""
@@ -155,7 +162,7 @@ class MST:
         return self._packets
 
 
-class WindowBaseline:
+class WindowBaseline(BatchIngest):
     """The paper's Baseline: MST with WCSS (sliding-window) instances.
 
     Every packet performs ``H`` Full updates — one per pattern — so the
@@ -196,8 +203,7 @@ class WindowBaseline:
         independent, so each receives its in-order prefix stream through
         the hoisted Memento block path.
         """
-        if not isinstance(packets, (list, tuple)):
-            packets = list(packets)
+        packets = as_batch(packets)
         self._packets += len(packets)
         per_pattern = regroup_by_pattern(
             self.hierarchy, packets, len(self._instances)
@@ -205,11 +211,6 @@ class WindowBaseline:
         for instance, prefixes in zip(self._instances, per_pattern):
             if prefixes:
                 instance.full_update_many(prefixes)
-
-    def extend(self, iterable: Iterable, chunk_size: int = 4096) -> None:
-        """Feed an arbitrary iterable through :meth:`update_many` in chunks."""
-        for chunk in iter_chunks(iterable, chunk_size):
-            self.update_many(chunk)
 
     def query(self, prefix) -> float:
         """Upper-bound window frequency estimate for ``prefix``."""
@@ -233,6 +234,14 @@ class WindowBaseline:
         """All prefixes known to any of the window instances."""
         for instance in self._instances:
             yield from instance.candidates()
+
+    def entries(self) -> List[Entry]:
+        """Flat mergeable snapshot across the per-pattern WCSS instances
+        (raw sampled units, as in ``Memento.entries``)."""
+        out: List[Entry] = []
+        for instance in self._instances:
+            out.extend(instance.entries())
+        return out
 
     def output(self, theta: float) -> Set:
         """Approximate window HHH set for threshold ``theta``."""

@@ -25,20 +25,20 @@ import math
 from itertools import compress
 from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Set
 
-from .batching import iter_chunks
-
 import numpy as np
 
 from ..analysis.error_model import z_quantile
 from ..hierarchy.domain import Hierarchy
 from ..hierarchy.hhh_output import compute_hhh
+from .api import Entry
+from .batching import BatchIngest, as_batch
 from .sampling import GeometricSampler
 from .space_saving import SpaceSaving
 
 __all__ = ["RHHH"]
 
 
-class RHHH:
+class RHHH(BatchIngest):
     """Interval HHH with randomized single-instance updates.
 
     Parameters
@@ -131,8 +131,7 @@ class RHHH:
         per-instance states are byte-identical under a fixed seed; the
         grouped prefixes then ride ``SpaceSaving.update_many``.
         """
-        if not isinstance(packets, (list, tuple)):
-            packets = list(packets)
+        packets = as_batch(packets)
         n = len(packets)
         self._packets += n
         if n == 0:
@@ -150,11 +149,6 @@ class RHHH:
         for instance, prefixes in zip(self._instances, per_pattern):
             if prefixes:
                 instance.update_many(prefixes)
-
-    def extend(self, iterable: Iterable, chunk_size: int = 4096) -> None:
-        """Feed an arbitrary iterable through :meth:`update_many` in chunks."""
-        for chunk in iter_chunks(iterable, chunk_size):
-            self.update_many(chunk)
 
     def query(self, prefix) -> float:
         """Upper-bound estimate ``f̂+ = X̂+ · V`` since the last reset."""
@@ -181,6 +175,14 @@ class RHHH:
         for instance in self._instances:
             for prefix, _ in instance.items():
                 yield prefix
+
+    def entries(self) -> List[Entry]:
+        """Flat mergeable snapshot across instances, in raw (unscaled)
+        sampled counts; the ``V`` multiplier is a query-time concern."""
+        out: List[Entry] = []
+        for instance in self._instances:
+            out.extend(instance.entries())
+        return out
 
     def output(self, theta: float, conservative: bool = True) -> Set:
         """Approximate HHH set over the packets since the last reset.

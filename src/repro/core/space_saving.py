@@ -21,9 +21,9 @@ Guarantees (with ``m = counters`` and ``n`` processed items):
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, Iterable, Iterator, List, Optional, Tuple
+from typing import Dict, Hashable, Iterator, List, Optional, Tuple
 
-from .batching import iter_chunks
+from .batching import BatchIngest, as_batch
 
 __all__ = ["SpaceSaving"]
 
@@ -40,7 +40,7 @@ class _Bucket:
         self.next: Optional["_Bucket"] = None
 
 
-class SpaceSaving:
+class SpaceSaving(BatchIngest):
     """Space Saving with O(1) worst-case unit updates and error tracking.
 
     Parameters
@@ -255,8 +255,7 @@ class SpaceSaving:
         unlink-plus-allocate, which leaves an identical chain of
         (value, keys, error) states without touching the allocator.
         """
-        if not isinstance(items, (list, tuple)):
-            items = list(items)
+        items = as_batch(items)
         index = self._index
         index_get = index.get
         counters = self.counters
@@ -325,11 +324,6 @@ class SpaceSaving:
                 index[key] = fresh
         self._size = size
         self._items += len(items)
-
-    def extend(self, iterable: Iterable[Hashable], chunk_size: int = 4096) -> None:
-        """Feed an arbitrary iterable through :meth:`update_many` in chunks."""
-        for chunk in iter_chunks(iterable, chunk_size):
-            self.update_many(chunk)
 
     def query(self, key: Hashable) -> int:
         """Upper-bound estimate of ``key``'s count since the last flush.

@@ -39,12 +39,16 @@ def run(
     aggregate_entries: int = 256,
     stride: int = 50,
     seed: int = 2018,
+    shards: int = 1,
 ) -> List[Dict[str, float]]:
     """One row per (trace, method) with the controller's RMSE.
 
     ``aggregate_entries`` bounds the aggregation reports' entry count (the
     entries of the point's HH algorithm), scaled down with the window so
     the method stays functional at reproduction scale — see EXPERIMENTS.md.
+    ``shards > 1`` runs the Sample/Batch controllers over the sharded
+    ingestion layer (hash-partitioned D-H-Memento shards, merge-on-query)
+    with the counter budget split across shards.
     """
     window = window if window is not None else scaled(20_000)
     length = int(window * 3)
@@ -62,6 +66,7 @@ def run(
                 hierarchy=hierarchy,
                 seed=seed,
                 aggregate_max_entries=aggregate_entries,
+                shards=shards if method != "aggregate" else 1,
             )
             result = run_error_experiment(
                 config,
@@ -85,6 +90,7 @@ def format_table(rows: List[Dict[str, float]]) -> str:
             "bytes_per_packet",
             "tau",
             "batch_size",
+            "shards",
             "reports_sent",
         ],
     )

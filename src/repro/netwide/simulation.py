@@ -25,6 +25,7 @@ from ..core.exact import ExactWindowCounter
 from ..core.h_memento import HMemento
 from ..core.memento import Memento
 from ..hierarchy.domain import Hierarchy
+from ..sharding import ShardedSketch
 from .budget import BudgetModel
 from .controller import AggregationController, SketchController
 from .measurement_point import AggregatingPoint, SamplingPoint
@@ -57,6 +58,11 @@ class NetwideConfig:
     #: Entry cap for aggregation reports ("all the entries of its HH
     #: algorithm"); defaults to ``counters`` when None.
     aggregate_max_entries: Optional[int] = None
+    #: Controller-side ingestion shards (1 = the single-sketch path).
+    #: ``counters`` is split across shards so total state stays constant.
+    shards: int = 1
+    #: Executor for the sharded controller: serial / thread / process.
+    shard_executor: str = "serial"
 
     def __post_init__(self) -> None:
         if self.method not in METHODS:
@@ -65,6 +71,8 @@ class NetwideConfig:
             )
         if self.points <= 0:
             raise ValueError(f"points must be positive, got {self.points}")
+        if self.shards <= 0:
+            raise ValueError(f"shards must be positive, got {self.shards}")
 
 
 class NetwideSystem:
@@ -130,12 +138,53 @@ class NetwideSystem:
             )
             for i in range(config.points)
         ]
-        if config.hierarchy is not None:
+        tau = min(1.0, self.tau)
+        if config.shards > 1:
+            # split the counter budget so total controller state matches
+            # the single-sketch deployment
+            per_shard = max(1, config.counters // config.shards)
+            if config.hierarchy is not None:
+
+                def factory(i: int) -> HMemento:
+                    return HMemento(
+                        window=config.window,
+                        hierarchy=config.hierarchy,
+                        counters=per_shard,
+                        tau=tau,
+                        delta=config.delta,
+                        seed=None if seed is None else seed + 7919 * i,
+                    )
+
+                # packets route by key, queries aggregate by prefix —
+                # a prefix's traffic spans shards, so estimates sum
+                algorithm = ShardedSketch(
+                    factory,
+                    shards=config.shards,
+                    executor=config.shard_executor,
+                    query_mode="sum",
+                )
+            else:
+
+                def factory(i: int) -> Memento:
+                    return Memento(
+                        window=config.window,
+                        counters=per_shard,
+                        tau=tau,
+                        seed=None if seed is None else seed + 7919 * i,
+                    )
+
+                algorithm = ShardedSketch(
+                    factory,
+                    shards=config.shards,
+                    executor=config.shard_executor,
+                    query_mode="route",
+                )
+        elif config.hierarchy is not None:
             algorithm = HMemento(
                 window=config.window,
                 hierarchy=config.hierarchy,
                 counters=config.counters,
-                tau=min(1.0, self.tau),
+                tau=tau,
                 delta=config.delta,
                 seed=seed,
             )
@@ -143,7 +192,7 @@ class NetwideSystem:
             algorithm = Memento(
                 window=config.window,
                 counters=config.counters,
-                tau=min(1.0, self.tau),
+                tau=tau,
                 seed=seed,
             )
         self.controller = SketchController(algorithm)
@@ -329,4 +378,5 @@ def run_error_experiment(
         "bytes_per_packet": system.bytes_sent / max(1, len(stream)),
         "tau": system.tau,
         "batch_size": float(system.batch_size),
+        "shards": float(config.shards),
     }

@@ -1,0 +1,28 @@
+"""Sharded sliding-window ingestion: hash partitioning + merge-on-query.
+
+Public surface:
+
+* :class:`ShardedSketch` — hash-partitioned ensemble of any
+  :class:`repro.core.api.SlidingSketch`, with global-window alignment
+  for the Memento family and merge-on-query combining.
+* :func:`shard_index` — the deterministic routing hash.
+* Executors — :class:`SerialExecutor`, :class:`ThreadExecutor`,
+  :class:`ProcessExecutor`, and :func:`make_executor`.
+"""
+
+from .executors import (
+    ProcessExecutor,
+    SerialExecutor,
+    ThreadExecutor,
+    make_executor,
+)
+from .sharded import ShardedSketch, shard_index
+
+__all__ = [
+    "ShardedSketch",
+    "shard_index",
+    "SerialExecutor",
+    "ThreadExecutor",
+    "ProcessExecutor",
+    "make_executor",
+]

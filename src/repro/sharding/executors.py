@@ -1,0 +1,130 @@
+"""Pluggable executors for per-shard ingestion work.
+
+:class:`repro.sharding.sharded.ShardedSketch` hands each shard's batch
+plan to an executor's :meth:`map`; the executor decides where the work
+runs.  Three strategies ship:
+
+* :class:`SerialExecutor` — run shard plans one after another in the
+  calling thread.  Zero overhead, the default, and the baseline the
+  sharded-ingest bench gates against.
+* :class:`ThreadExecutor` — a ``concurrent.futures`` thread pool.  Under
+  CPython's GIL pure-Python sketch updates do not speed up wall-clock,
+  but the strategy exercises the exact concurrency structure a
+  free-threaded build or a C-accelerated sketch kernel would use, and it
+  overlaps any I/O a custom sketch performs.
+* :class:`ProcessExecutor` — a process pool using a *round-trip* model:
+  the shard sketch and its plan are pickled to a worker, mutated there,
+  and the updated sketch is pickled back.  Shards therefore always live
+  in the parent between calls (queries never cross process boundaries),
+  at the price of serializing state both ways — profitable only when the
+  per-batch compute dwarfs the pickling cost.  Sketches with deep linked
+  structures (large Space Saving bucket chains) may need a raised
+  recursion limit to pickle.
+
+All executors implement ``map(fn, tasks)`` — apply ``fn(*task)`` for each
+task, returning results in task order — and ``close()``.  Any object with
+that surface can be passed wherever an executor name is accepted.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Callable, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "SerialExecutor",
+    "ThreadExecutor",
+    "ProcessExecutor",
+    "make_executor",
+]
+
+
+class SerialExecutor:
+    """Run shard plans sequentially in the calling thread (the default)."""
+
+    def map(self, fn: Callable, tasks: Sequence[Tuple]) -> List:
+        """Apply ``fn(*task)`` per task, in order."""
+        return [fn(*task) for task in tasks]
+
+    def close(self) -> None:
+        """Nothing to release."""
+
+
+class _PoolExecutor:
+    """Shared lazy-pool plumbing for the thread/process strategies."""
+
+    _pool_cls = None  # set by subclasses
+
+    def __init__(self, max_workers: Optional[int] = None) -> None:
+        if max_workers is not None and max_workers <= 0:
+            raise ValueError(
+                f"max_workers must be positive, got {max_workers}"
+            )
+        self.max_workers = max_workers
+        self._pool = None
+
+    def _ensure_pool(self):
+        if self._pool is None:
+            self._pool = self._pool_cls(max_workers=self.max_workers)
+        return self._pool
+
+    def map(self, fn: Callable, tasks: Sequence[Tuple]) -> List:
+        """Apply ``fn(*task)`` per task on the pool, preserving order."""
+        if not tasks:
+            return []
+        pool = self._ensure_pool()
+        return list(pool.map(fn, *zip(*tasks)))
+
+    def close(self) -> None:
+        """Shut the pool down (idempotent); a later map() re-creates it."""
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+
+    def __del__(self):  # pragma: no cover - interpreter-teardown best effort
+        try:
+            self.close()
+        except Exception:
+            pass
+
+
+class ThreadExecutor(_PoolExecutor):
+    """Thread-pool execution of shard plans (lazy pool creation)."""
+
+    _pool_cls = ThreadPoolExecutor
+
+
+class ProcessExecutor(_PoolExecutor):
+    """Process-pool execution via sketch round-tripping.
+
+    ``fn`` and every task element must be picklable; the returned
+    (mutated) sketch replaces the parent's copy.
+    """
+
+    _pool_cls = ProcessPoolExecutor
+
+
+_EXECUTORS = {
+    "serial": SerialExecutor,
+    "thread": ThreadExecutor,
+    "process": ProcessExecutor,
+}
+
+
+def make_executor(spec: object = "serial"):
+    """Resolve an executor: a name (``serial``/``thread``/``process``) or
+    any ready object exposing ``map``/``close``."""
+    if isinstance(spec, str):
+        try:
+            cls = _EXECUTORS[spec]
+        except KeyError:
+            raise ValueError(
+                f"unknown executor {spec!r}; expected one of "
+                f"{sorted(_EXECUTORS)}"
+            ) from None
+        return cls()
+    if hasattr(spec, "map") and hasattr(spec, "close"):
+        return spec
+    raise TypeError(
+        f"executor must be a name or expose map()/close(), got {spec!r}"
+    )

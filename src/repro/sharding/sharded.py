@@ -1,0 +1,551 @@
+"""Sharded sliding-window ingestion over any :class:`SlidingSketch`.
+
+The batch engine (PR 1) made one sketch fast; this layer scales *out*:
+a :class:`ShardedSketch` hash-partitions the key space across ``S``
+independent shard sketches, feeds each shard through the batch path, and
+combines shard state at query time (Section 4.3's mergeability, lifted
+to sliding windows).
+
+The central design point is **global-window alignment**.  A windowed
+shard (anything satisfying :class:`repro.core.api.WindowedSketch`, i.e.
+the Memento family and the exact window oracle) does not simply receive
+its own sub-stream: packets owned by *other* shards are applied as
+``ingest_gap`` window advances, so every shard's window spans exactly
+the last ``W`` packets of the **global** stream.  Gap runs collapse into
+O(1) counter arithmetic (the controller-path trick), so per-shard work
+stays proportional to its owned traffic plus rare boundary bookkeeping —
+this is what makes the partitioning a genuine scale-out rather than ``S``
+copies of the full stream.  Interval sketches (Space Saving, MST, RHHH)
+have no window to advance and simply receive their owned packets.
+
+Two query disciplines cover the two ways keys relate to routing:
+
+* ``route`` (default) — the aggregation key *is* the routing key, so one
+  shard owns all of a key's traffic: point queries go to the owner, and
+  heavy-hitter sets are disjoint unions.  Per-shard error is ``nⱼ/m``,
+  trivially within the merged ``Σ nᵢ/m`` bound.
+* ``sum`` — aggregation keys differ from routing keys (H-Memento routes
+  by packet while answering *prefix* queries, and a /8's packets spread
+  across shards), so estimates are summed across shards.  Upper bounds
+  sum to an upper bound, and heavy-hitter enumeration runs through the
+  window-aware merge (:func:`repro.core.merge.merge_windowed_entry_sets`)
+  with its summed-quantum error bound.
+
+Merged snapshots are cached and invalidated by an ingestion version
+counter, so repeated queries between batches merge once.
+"""
+
+from __future__ import annotations
+
+import math
+from itertools import chain
+from typing import Callable, Dict, Hashable, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from ..core.api import Entry, SlidingSketch, WindowedEntries
+from ..core.batching import BatchIngest, as_batch
+from ..core.merge import (
+    MergedWindowSketch,
+    merge_entry_sets,
+    merge_windowed_entry_sets,
+)
+from .executors import make_executor
+
+__all__ = ["ShardedSketch", "shard_index"]
+
+_MASK64 = (1 << 64) - 1
+
+QUERY_MODES = ("route", "sum")
+
+
+def _mix64(value: int) -> int:
+    """Finalizing 64-bit mix (murmur3 fmix64): decorrelates low bits so
+    ``% shards`` never keys off structured low-order key bits."""
+    value &= _MASK64
+    value ^= value >> 33
+    value = (value * 0xFF51AFD7ED558CCD) & _MASK64
+    value ^= value >> 33
+    value = (value * 0xC4CEB9FE1A85EC53) & _MASK64
+    value ^= value >> 33
+    return value
+
+
+def shard_index(key: Hashable, shards: int) -> int:
+    """Deterministic shard owner of ``key`` among ``shards`` partitions.
+
+    Integers are mixed directly (stable across processes); other types
+    go through ``hash()`` first (stable within a process — set
+    ``PYTHONHASHSEED`` for cross-process stability of strings).
+    """
+    h = key if isinstance(key, int) else hash(key)
+    return _mix64(h) % shards
+
+
+def _apply_shard_plan(shard, positions, items, total, windowed, method):
+    """Apply one shard's slice of a global batch; returns the shard.
+
+    ``positions`` are the global batch indices of the shard's owned
+    ``items`` (ascending).  Windowed shards interleave ``ingest_gap``
+    advances for the unowned stretches so their window tracks the global
+    stream; consecutive owned packets coalesce into one batched call.
+    Module-level (not a closure) so the process executor can pickle it.
+    """
+    if not windowed:
+        if items:
+            getattr(shard, method)(items)
+        return shard
+    ingest = getattr(shard, method)
+    gap = shard.ingest_gap
+    prev = -1
+    run: list = []
+    for pos, item in zip(positions, items):
+        if pos != prev + 1:
+            if run:
+                ingest(run)
+                run = []
+            gap(pos - prev - 1)
+        run.append(item)
+        prev = pos
+    if run:
+        ingest(run)
+    tail = total - 1 - prev
+    if tail:
+        gap(tail)
+    return shard
+
+
+class ShardedSketch(BatchIngest):
+    """Hash-partitioned ensemble of sketches behind one SlidingSketch face.
+
+    Parameters
+    ----------
+    factory:
+        ``factory(shard_id) -> sketch``; called once per shard.  Give
+        shards distinct seeds derived from ``shard_id`` when the sketch
+        is randomized.
+    shards:
+        Number of partitions ``S``.  One shard bypasses hashing entirely
+        and delegates straight to the inner sketch (the no-regression
+        fast path the bench gates).
+    executor:
+        ``"serial"`` (default), ``"thread"``, ``"process"``, or any
+        object with ``map(fn, tasks)``/``close()`` — see
+        :mod:`repro.sharding.executors`.
+    key_fn:
+        Maps an *item* to its routing key (default: the item itself).
+        H-Memento deployments route whole packets while querying
+        prefixes, which is what ``query_mode="sum"`` exists for.
+    query_mode:
+        ``"route"`` — point queries go to the key's owning shard (valid
+        when the query key equals the routing key); ``"sum"`` — sum the
+        per-shard estimates (valid always, required when they differ).
+    merge_counters:
+        Counter budget of merged snapshots (default: every merged row is
+        kept — the union is exact for disjoint shards).
+
+    Examples
+    --------
+    >>> from repro.core.space_saving import SpaceSaving
+    >>> sharded = ShardedSketch(lambda i: SpaceSaving(64), shards=4)
+    >>> sharded.update_many(["a", "b", "a", "c"])
+    >>> sharded.query("a")
+    2
+    """
+
+    def __init__(
+        self,
+        factory: Callable[[int], SlidingSketch],
+        shards: int = 1,
+        executor: object = "serial",
+        key_fn: Optional[Callable[[Hashable], Hashable]] = None,
+        query_mode: str = "route",
+        merge_counters: Optional[int] = None,
+    ) -> None:
+        if shards <= 0:
+            raise ValueError(f"shards must be positive, got {shards}")
+        if query_mode not in QUERY_MODES:
+            raise ValueError(
+                f"query_mode must be one of {QUERY_MODES}, got {query_mode!r}"
+            )
+        if merge_counters is not None and merge_counters <= 0:
+            raise ValueError(
+                f"merge_counters must be positive, got {merge_counters}"
+            )
+        self.num_shards = int(shards)
+        self.query_mode = query_mode
+        self.merge_counters = merge_counters
+        self._key_fn = key_fn
+        self._shards: List = [factory(i) for i in range(self.num_shards)]
+        first = self._shards[0]
+        #: shards that can advance their window without inserting get the
+        #: global-window-aligned ingestion; interval sketches get substreams
+        self.windowed = hasattr(first, "ingest_gap")
+        self._executor = make_executor(executor)
+        self._updates = 0
+        self._version = 0
+        self._merge_version = -1
+        self._merged_entries: Optional[List[Entry]] = None
+        self._merged_view: Optional[MergedWindowSketch] = None
+
+    # ------------------------------------------------------------------
+    # routing
+    # ------------------------------------------------------------------
+    def shard_of(self, item: Hashable) -> int:
+        """The shard index owning ``item`` (after ``key_fn`` routing)."""
+        key = item if self._key_fn is None else self._key_fn(item)
+        return shard_index(key, self.num_shards)
+
+    def _partition(self, items: Sequence) -> List[tuple]:
+        """Split a batch into per-shard ``(positions, items)`` pairs."""
+        n = len(items)
+        shards = self.num_shards
+        key_fn = self._key_fn
+        if key_fn is None and n and type(items[0]) is int:
+            # vectorized routing for the common integer-packet streams;
+            # only a genuinely integral batch qualifies (a float anywhere
+            # makes asarray produce a float dtype, which would silently
+            # truncate and diverge from the scalar hash routing)
+            try:
+                probe = np.asarray(items)
+            except (ValueError, TypeError, OverflowError):
+                probe = None
+            arr = None
+            if probe is not None and probe.dtype.kind in "iu":
+                if probe.dtype.kind == "i":
+                    arr = probe.astype(np.int64).view(np.uint64)
+                else:
+                    arr = probe.astype(np.uint64)
+            if arr is not None:
+                mixed = arr.copy()
+                mixed ^= mixed >> np.uint64(33)
+                mixed *= np.uint64(0xFF51AFD7ED558CCD)
+                mixed ^= mixed >> np.uint64(33)
+                mixed *= np.uint64(0xC4CEB9FE1A85EC53)
+                mixed ^= mixed >> np.uint64(33)
+                owners = mixed % np.uint64(shards)
+                index = np.arange(n)
+                out = []
+                for j in range(shards):
+                    positions = index[owners == j]
+                    out.append(
+                        (positions.tolist(), [items[i] for i in positions])
+                    )
+                return out
+        per_positions: List[list] = [[] for _ in range(shards)]
+        per_items: List[list] = [[] for _ in range(shards)]
+        for idx, item in enumerate(items):
+            key = item if key_fn is None else key_fn(item)
+            j = shard_index(key, shards)
+            per_positions[j].append(idx)
+            per_items[j].append(item)
+        return list(zip(per_positions, per_items))
+
+    # ------------------------------------------------------------------
+    # ingestion (SlidingSketch + WindowedSketch surface)
+    # ------------------------------------------------------------------
+    def update(self, item: Hashable) -> None:
+        """Route one packet; windowed non-owners advance their window."""
+        self._version += 1
+        self._updates += 1
+        if self.num_shards == 1:
+            self._shards[0].update(item)
+            return
+        owner = self.shard_of(item)
+        if self.windowed:
+            for j, shard in enumerate(self._shards):
+                if j == owner:
+                    shard.update(item)
+                else:
+                    shard.ingest_gap(1)
+        else:
+            self._shards[owner].update(item)
+
+    def update_many(self, items: Sequence) -> None:
+        """Batch ingestion: partition once, apply per-shard plans."""
+        self._dispatch(items, "update_many")
+
+    def ingest_sample(self, item: Hashable) -> None:
+        """Externally-sampled packet: Full update at the owner."""
+        self._version += 1
+        self._updates += 1
+        if self.num_shards == 1:
+            shard = self._shards[0]
+            if self.windowed:
+                shard.ingest_sample(item)
+            else:
+                shard.update(item)
+            return
+        owner = self.shard_of(item)
+        if self.windowed:
+            for j, shard in enumerate(self._shards):
+                if j == owner:
+                    shard.ingest_sample(item)
+                else:
+                    shard.ingest_gap(1)
+        else:
+            self._shards[owner].update(item)
+
+    def ingest_samples(self, items: Sequence) -> None:
+        """Batch of externally-sampled packets (controller path)."""
+        self._dispatch(items, "ingest_samples" if self.windowed else "update_many")
+
+    def ingest_gap(self, count: int) -> None:
+        """Advance every shard's window for ``count`` unobserved packets."""
+        if not self.windowed:
+            raise TypeError(
+                "ingest_gap needs windowed shards (sketches with their own "
+                "ingest_gap); interval sketches have no window to advance"
+            )
+        if count < 0:
+            raise ValueError(f"count must be non-negative, got {count}")
+        if count == 0:
+            return
+        self._version += 1
+        self._updates += count
+        for shard in self._shards:
+            shard.ingest_gap(count)
+
+    def _dispatch(self, items: Sequence, method: str) -> None:
+        items = as_batch(items)
+        n = len(items)
+        if n == 0:
+            return
+        self._version += 1
+        self._updates += n
+        if self.num_shards == 1:
+            getattr(self._shards[0], method)(items)
+            return
+        windowed = self.windowed
+        tasks = [
+            (shard, positions, owned, n, windowed, method)
+            for shard, (positions, owned) in zip(
+                self._shards, self._partition(items)
+            )
+        ]
+        self._shards = self._executor.map(_apply_shard_plan, tasks)
+
+    # ------------------------------------------------------------------
+    # queries (merge-on-query)
+    # ------------------------------------------------------------------
+    def query(self, key: Hashable) -> float:
+        """Window/interval frequency estimate for ``key``.
+
+        Route mode asks the owning shard (``key_fn`` applies, exactly as
+        it did at ingestion); sum mode adds the per-shard estimates.
+        """
+        if self.query_mode == "route":
+            return self._shards[self.shard_of(key)].query(key)
+        return sum(shard.query(key) for shard in self._shards)
+
+    @staticmethod
+    def _query_method(shard, *names):
+        """First of ``names`` the shard implements, else plain ``query``."""
+        for name in names:
+            fn = getattr(shard, name, None)
+            if fn is not None:
+                return fn
+        return shard.query
+
+    def query_lower(self, key: Hashable) -> float:
+        """Guaranteed (lower-bound) part of the estimate."""
+        if self.query_mode == "route":
+            shard = self._shards[self.shard_of(key)]
+            return self._query_method(shard, "query_lower", "lower_bound")(key)
+        return sum(
+            self._query_method(shard, "query_lower", "lower_bound")(key)
+            for shard in self._shards
+        )
+
+    def query_point(self, key: Hashable) -> float:
+        """Midpoint (bias-removed) estimate, for error metrics/detection."""
+        if self.query_mode == "route":
+            shard = self._shards[self.shard_of(key)]
+            return self._query_method(shard, "query_point")(key)
+        return sum(
+            self._query_method(shard, "query_point")(key)
+            for shard in self._shards
+        )
+
+    def candidates(self) -> Iterable[Hashable]:
+        """Keys any shard currently tracks (disjoint under ``route``)."""
+        iters = []
+        for shard in self._shards:
+            cand = getattr(shard, "candidates", None)
+            if cand is not None:
+                iters.append(cand())
+            else:
+                iters.append(key for key, _, _ in shard.entries())
+        if self.num_shards == 1 or self.query_mode == "route":
+            return chain.from_iterable(iters)
+        seen: set = set()
+        out = []
+        for key in chain.from_iterable(iters):
+            if key not in seen:
+                seen.add(key)
+                out.append(key)
+        return out
+
+    def entries(self) -> List[Entry]:
+        """Merged ``(key, estimate, guaranteed)`` snapshot (cached)."""
+        if self._merge_version != self._version or self._merged_entries is None:
+            sets = [shard.entries() for shard in self._shards]
+            budget = self.merge_counters or max(
+                1, sum(len(rows) for rows in sets)
+            )
+            self._merged_entries = merge_entry_sets(sets, counters=budget)
+            self._merged_view = None
+            self._merge_version = self._version
+        return self._merged_entries
+
+    def merged_window(self) -> MergedWindowSketch:
+        """Window-aware merged view of all shards (cached by version).
+
+        Requires shards exposing ``windowed_entries`` (the Memento
+        family); the view answers scaled queries and heavy-hitter
+        enumeration with the summed-quantum error bound.
+        """
+        if self._merge_version != self._version or self._merged_view is None:
+            snapshots = [shard.windowed_entries() for shard in self._shards]
+            budget = self.merge_counters or max(
+                1, sum(len(snap.entries) for snap in snapshots)
+            )
+            merged = merge_windowed_entry_sets(snapshots, counters=budget)
+            self._merged_view = MergedWindowSketch(merged)
+            self._merged_entries = list(merged.entries)
+            self._merge_version = self._version
+        return self._merged_view
+
+    def _sum_heavy_hitters(self, theta: float) -> Dict[Hashable, float]:
+        """Sum-mode enumeration: merged snapshot against the right bar.
+
+        Memento-family shards go through the window-aware merged view
+        (scaled estimates, ``theta · window`` bar).  Other shards merge
+        their raw ``entries()``: exact window counters threshold against
+        ``theta · window``, interval sketches against ``theta · n`` where
+        ``n`` is the total ingested count (``Σ nᵢ``), matching each
+        family's own ``heavy_hitters`` convention.
+        """
+        first = self._shards[0]
+        if hasattr(first, "windowed_entries"):
+            return self.merged_window().heavy_hitters(theta)
+        if self.windowed:
+            bar = theta * getattr(first, "window", self._updates)
+        else:
+            bar = theta * self._updates
+        return {
+            key: float(est) for key, est, _ in self.entries() if est > bar
+        }
+
+    def _route_heavy(self, theta: float, attr: str) -> Dict[Hashable, float]:
+        """Route-mode union with a *global* threshold.
+
+        Windowed shards threshold against ``theta · window``, which is
+        shard-independent, so their union is already the sharded set.
+        Interval shards threshold against their *local* processed count
+        — roughly ``1/S`` of the stream — so ``theta`` is rescaled per
+        shard to make the local bar equal the global ``theta · n``
+        (reusing each sketch's own scaling semantics, e.g. RHHH's ``V``
+        multiplier).
+        """
+        out: Dict[Hashable, float] = {}
+        total = self._updates
+        for shard in self._shards:
+            fn = getattr(shard, attr, None)
+            if fn is None:
+                fn = shard.heavy_hitters
+            local_theta = theta
+            if not self.windowed and self.num_shards > 1 and total:
+                local = getattr(shard, "processed", None)
+                if local is None:
+                    local = getattr(shard, "packets", None)
+                if local:
+                    local_theta = theta * total / local
+            out.update(fn(local_theta))
+        return out
+
+    def heavy_hitters(self, theta: float) -> Dict[Hashable, float]:
+        """Heavy hitters across all shards.
+
+        Under ``route`` the per-shard sets are disjoint and their union
+        — thresholded against the global count (see :meth:`_route_heavy`)
+        — is the sharded heavy-hitter set; under ``sum`` the merged
+        snapshot enumerates them (window-aware for the Memento family).
+        """
+        if self.query_mode == "route" or self.num_shards == 1:
+            return self._route_heavy(theta, "heavy_hitters")
+        return self._sum_heavy_hitters(theta)
+
+    def heavy_prefixes(self, theta: float) -> Dict[Hashable, float]:
+        """Controller-facing alias (keys are prefixes in HHH mode)."""
+        if self.query_mode == "route" or self.num_shards == 1:
+            return self._route_heavy(theta, "heavy_prefixes")
+        return self._sum_heavy_hitters(theta)
+
+    def output(self, theta: float):
+        """The heavy-hitter / HHH output set across all shards.
+
+        When sum-mode shards expose the conditioned ``output`` surface
+        (H-Memento), the HHH set is recomputed over the *merged*
+        estimates: ``compute_hhh`` runs on the union of candidates with
+        the summed upper/lower queries, the per-shard coverage slack
+        growing as ``sqrt(S)`` (independent per-shard sampling noise adds
+        in variance).  Everything else falls back to the plain
+        heavy-hitter key set, which is what the single-sketch controller
+        does for non-HHH algorithms.
+        """
+        if (
+            self.query_mode == "sum"
+            and self.num_shards > 1
+            and hasattr(self._shards[0], "output")
+            and hasattr(self._shards[0], "hierarchy")
+        ):
+            from ..hierarchy.hhh_output import compute_hhh
+
+            first = self._shards[0]
+            correction = 0.0
+            if hasattr(first, "sampling_correction"):
+                correction = first.sampling_correction() * math.sqrt(
+                    self.num_shards
+                )
+            return compute_hhh(
+                first.hierarchy,
+                list(self.candidates()),
+                upper=self.query,
+                lower=self.query_lower,
+                threshold_count=theta * first.window,
+                correction=correction,
+            )
+        if self.num_shards == 1 and hasattr(self._shards[0], "output"):
+            return self._shards[0].output(theta)
+        return set(self.heavy_hitters(theta))
+
+    # ------------------------------------------------------------------
+    # introspection / lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def shards(self) -> Sequence:
+        """The live shard sketches (read-only view)."""
+        return tuple(self._shards)
+
+    @property
+    def updates(self) -> int:
+        """Global packets ingested (including gap advances)."""
+        return self._updates
+
+    def close(self) -> None:
+        """Release the executor's worker pool (idempotent)."""
+        self._executor.close()
+
+    def __enter__(self) -> "ShardedSketch":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return (
+            f"ShardedSketch(shards={self.num_shards}, "
+            f"mode={self.query_mode!r}, windowed={self.windowed}, "
+            f"updates={self._updates})"
+        )

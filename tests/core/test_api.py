@@ -1,0 +1,183 @@
+"""SlidingSketch protocol conformance and the shared batch-ingest mixin."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    MST,
+    RHHH,
+    SRC_HIERARCHY,
+    WCSS,
+    ExactIntervalCounter,
+    ExactWindowCounter,
+    ExactWindowHHH,
+    HMemento,
+    Memento,
+    MergeableSketch,
+    ShardedSketch,
+    SlidingSketch,
+    SpaceSaving,
+    WindowBaseline,
+    WindowedEntries,
+    WindowedSketch,
+)
+from repro.core.batching import BatchIngest, as_batch
+
+
+def _all_sketches():
+    return [
+        Memento(window=64, counters=8, tau=0.5, seed=1),
+        WCSS(window=64, counters=8),
+        HMemento(window=64, hierarchy=SRC_HIERARCHY, counters=40, tau=0.5, seed=1),
+        SpaceSaving(8),
+        MST(SRC_HIERARCHY, counters=8),
+        WindowBaseline(SRC_HIERARCHY, window=64, counters=8),
+        RHHH(SRC_HIERARCHY, counters=8, seed=1),
+        ExactWindowCounter(64),
+        ExactIntervalCounter(64),
+        ExactWindowHHH(SRC_HIERARCHY, window=64),
+        ShardedSketch(lambda i: SpaceSaving(8), shards=2),
+        ShardedSketch(lambda i: Memento(window=64, counters=8, seed=i), shards=2),
+    ]
+
+
+class TestSlidingSketchProtocol:
+    @pytest.mark.parametrize(
+        "sketch", _all_sketches(), ids=lambda s: type(s).__name__
+    )
+    def test_conforms(self, sketch):
+        assert isinstance(sketch, SlidingSketch)
+
+    def test_non_sketch_rejected(self):
+        assert not isinstance(object(), SlidingSketch)
+
+
+class TestMergeableSketchProtocol:
+    @pytest.mark.parametrize(
+        "sketch", _all_sketches(), ids=lambda s: type(s).__name__
+    )
+    def test_conforms(self, sketch):
+        if isinstance(sketch, ExactIntervalCounter) or isinstance(
+            sketch, ExactWindowHHH
+        ):
+            pytest.skip("interval/lattice oracles do not snapshot flat entries")
+        assert isinstance(sketch, MergeableSketch)
+
+    def test_entries_rows_are_bounds(self):
+        sketch = Memento(window=64, counters=8, tau=1.0)
+        for i in range(200):
+            sketch.update(i % 5)
+        for key, est, low in sketch.entries():
+            assert low <= est
+            assert est == sketch.query_raw(key)
+            assert low == sketch.query_lower_raw(key)
+
+
+class TestWindowedSketchProtocol:
+    def test_memento_family_conforms(self):
+        for sketch in (
+            Memento(window=64, counters=8),
+            WCSS(window=64, counters=8),
+            HMemento(window=64, hierarchy=SRC_HIERARCHY, counters=40),
+            ExactWindowCounter(64),
+            ShardedSketch(lambda i: Memento(window=64, counters=8), shards=2),
+        ):
+            assert isinstance(sketch, WindowedSketch)
+
+    def test_interval_sketches_do_not(self):
+        assert not isinstance(SpaceSaving(8), WindowedSketch)
+        assert not isinstance(MST(SRC_HIERARCHY, counters=8), WindowedSketch)
+
+
+class TestExactWindowGap:
+    """ingest_gap on the exact oracle: the window stays globally aligned."""
+
+    def test_gap_expires_like_updates(self):
+        gapped = ExactWindowCounter(10)
+        dense = ExactWindowCounter(10)
+        for i in range(8):
+            gapped.update(i)
+            dense.update(i)
+        gapped.ingest_gap(5)
+        for _ in range(5):
+            dense.update("filler")
+        for i in range(8):
+            assert gapped.query(i) == dense.query(i)
+        assert gapped.query("filler") == 0
+
+    def test_gap_larger_than_window_clears(self):
+        counter = ExactWindowCounter(10)
+        for i in range(10):
+            counter.update(i)
+        counter.ingest_gap(25)
+        assert len(counter) == 0
+        # ring position stays consistent: new updates land and expire
+        for i in range(12):
+            counter.update("x")
+        assert counter.query("x") == 10
+
+    def test_negative_gap_rejected(self):
+        with pytest.raises(ValueError):
+            ExactWindowCounter(4).ingest_gap(-1)
+
+    def test_ingest_samples_counts(self):
+        counter = ExactWindowCounter(16)
+        counter.ingest_samples(["a", "a", "b"])
+        counter.ingest_sample("a")
+        assert counter.query("a") == 3
+        assert sorted(counter.entries()) == [("a", 3, 3), ("b", 1, 1)]
+
+
+class TestBatchIngestMixin:
+    def test_scalar_fallback_update_many(self):
+        class Tally(BatchIngest):
+            def __init__(self):
+                self.seen = []
+
+            def update(self, item):
+                self.seen.append(item)
+
+        tally = Tally()
+        tally.update_many(iter(range(5)))
+        tally.extend(range(5, 12), chunk_size=3)
+        assert tally.seen == list(range(12))
+
+    def test_exact_counters_gained_extend(self):
+        window = ExactWindowCounter(8)
+        window.extend(iter("aabbccdd"), chunk_size=3)
+        assert window.query("a") == 2
+        interval = ExactIntervalCounter(4)
+        interval.extend(iter("xyxy"), chunk_size=2)
+        assert interval.completed_intervals == 1
+        hhh = ExactWindowHHH(SRC_HIERARCHY, window=8)
+        hhh.extend(iter([0x01020304] * 3), chunk_size=2)
+        assert hhh.query((0x01020304, 32)) == 3
+
+    def test_as_batch_passthrough(self):
+        items = [1, 2, 3]
+        assert as_batch(items) is items
+        tup = (1, 2)
+        assert as_batch(tup) is tup
+        assert as_batch(iter([4, 5])) == [4, 5]
+
+
+class TestWindowedEntries:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WindowedEntries(entries=(), window=0)
+        with pytest.raises(ValueError):
+            WindowedEntries(entries=(), window=8, tau=0.0)
+        with pytest.raises(ValueError):
+            WindowedEntries(entries=(), window=8, quantum=0)
+
+    def test_memento_snapshot_geometry(self):
+        sketch = Memento(window=60, counters=8, tau=0.5, seed=3)
+        for i in range(100):
+            sketch.update(i % 4)
+        snap = sketch.windowed_entries()
+        assert snap.window == sketch.effective_window
+        assert snap.tau == 0.5
+        assert snap.quantum == sketch.sample_block
+        assert snap.frame_offset == sketch.frame_position
+        assert dict((k, e) for k, e, _ in snap.entries)

@@ -8,7 +8,17 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro import MST, SRC_HIERARCHY, SpaceSaving, merge_entry_sets, merge_mst, merge_space_saving
+from repro import (
+    MST,
+    SRC_HIERARCHY,
+    SpaceSaving,
+    merge_entry_sets,
+    merge_h_memento,
+    merge_memento,
+    merge_mst,
+    merge_space_saving,
+    merge_windowed_entry_sets,
+)
 
 streams = st.lists(st.integers(min_value=0, max_value=25), min_size=1, max_size=250)
 
@@ -118,3 +128,149 @@ class TestMergeMST:
             (a if i % 2 else b).update(0xC0000000 | (i << 12))
         merged = merge_mst([a, b])
         assert (base, 8) in merged.output(theta=0.3)
+
+
+class TestMergeEdgeCases:
+    """Hardened edge semantics: empty merges and counter defaulting."""
+
+    def test_empty_entry_sets_is_empty_merge(self):
+        assert merge_entry_sets([], counters=4) == []
+
+    def test_empty_entry_sets_still_validates_counters(self):
+        with pytest.raises(ValueError):
+            merge_entry_sets([], counters=0)
+
+    def test_space_saving_counters_defaults(self):
+        a, b = SpaceSaving(4), SpaceSaving(9)
+        a.add("x")
+        b.add("y")
+        # both the legacy 0 and the explicit None select max(input sizes)
+        assert merge_space_saving([a, b], counters=0).counters == 9
+        assert merge_space_saving([a, b]).counters == 9
+        assert merge_space_saving([a, b], counters=2).counters == 2
+
+    def test_space_saving_negative_counters_rejected(self):
+        a = SpaceSaving(4)
+        a.add("x")
+        with pytest.raises(ValueError, match="counters"):
+            merge_space_saving([a], counters=-1)
+
+    def test_mst_negative_counters_rejected(self):
+        a = MST(SRC_HIERARCHY, counters=4)
+        with pytest.raises(ValueError, match="counters"):
+            merge_mst([a], counters=-2)
+
+
+class TestWindowedMerge:
+    """Window-aware merging of Memento-family snapshots."""
+
+    def _sketch(self, seed, tau=1.0):
+        from repro import Memento
+
+        sketch = Memento(window=120, counters=12, tau=tau, seed=seed)
+        return sketch
+
+    def test_requires_input(self):
+        with pytest.raises(ValueError):
+            merge_windowed_entry_sets([], counters=4)
+        with pytest.raises(ValueError):
+            merge_memento([])
+        with pytest.raises(ValueError):
+            merge_h_memento([])
+
+    def test_window_mismatch_rejected(self):
+        from repro import Memento
+
+        a = Memento(window=120, counters=12, tau=1.0)
+        b = Memento(window=240, counters=12, tau=1.0)
+        with pytest.raises(ValueError, match="different windows"):
+            merge_windowed_entry_sets(
+                [a.windowed_entries(), b.windowed_entries()], counters=12
+            )
+
+    def test_tau_mismatch_rejected(self):
+        a = self._sketch(1, tau=1.0)
+        b = self._sketch(2, tau=0.5)
+        with pytest.raises(ValueError, match="different tau"):
+            merge_windowed_entry_sets(
+                [a.windowed_entries(), b.windowed_entries()], counters=12
+            )
+
+    def test_merged_geometry(self):
+        a, b = self._sketch(1), self._sketch(2)
+        for i in range(50):
+            a.update(i % 3)
+        for i in range(75):
+            b.update(i % 5)
+        merged = merge_windowed_entry_sets(
+            [a.windowed_entries(), b.windowed_entries()], counters=12
+        )
+        assert merged.window == a.effective_window
+        assert merged.quantum == a.sample_block + b.sample_block
+        assert merged.frame_offset == max(a.frame_position, b.frame_position)
+
+    def test_merge_memento_upper_bounds_combined_counts(self):
+        from collections import Counter
+
+        from repro import Memento
+
+        a, b = self._sketch(1), self._sketch(2)
+        stream_a = [i % 7 for i in range(90)]
+        stream_b = [i % 4 for i in range(110)]
+        a.update_many(stream_a)
+        b.update_many(stream_b)
+        merged = merge_memento([a, b])
+        # both windows still hold their entire (short) streams
+        truth = Counter(stream_a[-merged.window:]) + Counter(stream_b[-merged.window:])
+        for key in range(7):
+            est = merged.query(key)
+            assert est >= truth[key]
+            assert est <= truth[key] + 4 * merged.snapshot.quantum
+            assert merged.query_lower(key) <= truth[key]
+        heavy = merged.heavy_hitters(theta=0.05)
+        for key, est in heavy.items():
+            assert est > 0.05 * merged.window
+
+    def test_merge_memento_point_query_floors(self):
+        a, b = self._sketch(1), self._sketch(2)
+        a.update("x")
+        merged = merge_memento([a, b])
+        assert merged.query_point("unseen") == 0.0
+        assert merged.query("unseen") == 2 * merged.snapshot.quantum
+        assert merged.query_lower("unseen") == 0.0
+
+    def test_merge_h_memento_scales_by_v(self):
+        from repro import HMemento
+
+        sketches = [
+            HMemento(
+                window=200,
+                hierarchy=SRC_HIERARCHY,
+                counters=100,
+                tau=1.0,
+                seed=seed,
+            )
+            for seed in (1, 2)
+        ]
+        pkt = 0x0A0B0C0D
+        for sketch in sketches:
+            for _ in range(60):
+                sketch.update(pkt)
+        merged = merge_h_memento(sketches)
+        # the merged raw rows sum per key, so scaled queries add exactly
+        # (every prefix of pkt is a candidate in both sketches)
+        for prefix in SRC_HIERARCHY.all_prefixes(pkt):
+            assert merged.query(prefix) == pytest.approx(
+                sketches[0].query(prefix) + sketches[1].query(prefix)
+            )
+        assert merged.scale == sketches[0].sampling_ratio
+
+    def test_merge_h_memento_hierarchy_mismatch(self):
+        from repro import HMemento, SRC_DST_HIERARCHY
+
+        a = HMemento(window=100, hierarchy=SRC_HIERARCHY, counters=50, tau=1.0)
+        b = HMemento(
+            window=100, hierarchy=SRC_DST_HIERARCHY, counters=50, tau=1.0
+        )
+        with pytest.raises(ValueError, match="different hierarchies"):
+            merge_h_memento([a, b])

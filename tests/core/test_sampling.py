@@ -12,6 +12,7 @@ from repro import (
     TableSampler,
     make_sampler,
 )
+from repro.core.sampling import draw_decisions
 
 ALL_SAMPLERS = [BernoulliSampler, TableSampler, GeometricSampler]
 
@@ -158,3 +159,66 @@ class TestSampleBlock:
         sampler = make_sampler(0.2, method="bernoulli", seed=3)
         decisions = sampler.sample_block(20_000)
         assert 0.17 < sum(decisions) / len(decisions) < 0.23
+
+
+class TestDrawDecisions:
+    """draw_decisions: block fast path plus the scalar fallback for
+    sampler objects that predate ``sample_block``."""
+
+    class LegacySampler:
+        """A user-supplied sampler with only the documented scalar API."""
+
+        def __init__(self):
+            self.calls = 0
+
+        def should_sample(self):
+            self.calls += 1
+            return self.calls % 3 == 0
+
+    def test_fallback_without_sample_block(self):
+        sampler = self.LegacySampler()
+        decisions = draw_decisions(sampler, 9)
+        assert decisions == [False, False, True] * 3
+        assert sampler.calls == 9
+
+    def test_fallback_zero_draws_nothing(self):
+        sampler = self.LegacySampler()
+        assert draw_decisions(sampler, 0) == []
+        assert sampler.calls == 0
+
+    def test_prefers_sample_block(self):
+        sampler = FixedSampler([True, False], default=False)
+        assert draw_decisions(sampler, 4) == [True, False, False, False]
+
+    def test_memento_accepts_legacy_sampler(self):
+        from repro import Memento
+
+        sketch = Memento(window=32, counters=4, tau=0.5,
+                         sampler=self.LegacySampler())
+        sketch.update_many(list(range(9)))
+        assert sketch.updates == 9
+        assert sketch.full_updates == 3
+
+
+class TestSampleBlockZero:
+    """sample_block(0) must be an RNG no-op on every sampler."""
+
+    @pytest.mark.parametrize(
+        "sampler",
+        [
+            BernoulliSampler(0.4, seed=2),
+            TableSampler(0.4, seed=2),
+            GeometricSampler(0.4, seed=2),
+            FixedSampler([True, False]),
+        ],
+        ids=["bernoulli", "table", "geometric", "fixed"],
+    )
+    def test_empty_block_consumes_nothing(self, sampler):
+        type(sampler)  # ids only
+        assert sampler.sample_block(0) == []
+        # the next decisions match a fresh same-seed sampler's stream
+        if isinstance(sampler, FixedSampler):
+            assert sampler.sample_block(2) == [True, False]
+            return
+        fresh = type(sampler)(0.4, seed=2)
+        assert sampler.sample_block(20) == fresh.sample_block(20)

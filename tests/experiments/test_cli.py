@@ -35,3 +35,17 @@ class TestMain:
         out = capsys.readouterr().out
         assert "improved_interval" in out
         assert "window_sim" not in out
+
+
+class TestShardsFlag:
+    def test_fig9_shards_default(self):
+        args = build_parser().parse_args(["fig9"])
+        assert args.shards == 1
+
+    def test_fig9_shards_parsed(self):
+        args = build_parser().parse_args(["fig9", "--shards", "4"])
+        assert args.shards == 4
+
+    def test_other_figures_have_no_shards(self):
+        args = build_parser().parse_args(["fig5"])
+        assert not hasattr(args, "shards")

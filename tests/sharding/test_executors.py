@@ -1,0 +1,129 @@
+"""Executor strategies: identical results, lifecycle, and plumbing."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro import (
+    ExactWindowCounter,
+    Memento,
+    ProcessExecutor,
+    SerialExecutor,
+    ShardedSketch,
+    SpaceSaving,
+    ThreadExecutor,
+    make_executor,
+)
+
+WINDOW = 96
+
+
+def exact_factory(i):
+    return ExactWindowCounter(WINDOW)
+
+
+def memento_factory(i):
+    # small counter budget keeps the bucket chains shallow enough to
+    # pickle through the process executor without recursion tuning
+    return Memento(window=WINDOW, counters=8, tau=1.0, seed=1 + i)
+
+
+def make_stream(n=2000, seed=23):
+    rng = random.Random(seed)
+    return [rng.randint(0, 30) for _ in range(n)]
+
+
+class TestMakeExecutor:
+    def test_by_name(self):
+        assert isinstance(make_executor("serial"), SerialExecutor)
+        assert isinstance(make_executor("thread"), ThreadExecutor)
+        assert isinstance(make_executor("process"), ProcessExecutor)
+
+    def test_ready_object_passthrough(self):
+        executor = SerialExecutor()
+        assert make_executor(executor) is executor
+
+    def test_rejects_unknown(self):
+        with pytest.raises(ValueError, match="unknown executor"):
+            make_executor("quantum")
+        with pytest.raises(TypeError):
+            make_executor(42)
+
+    def test_rejects_bad_workers(self):
+        with pytest.raises(ValueError):
+            ThreadExecutor(max_workers=0)
+
+
+class TestExecutorEquivalence:
+    """Every strategy must produce byte-identical shard state."""
+
+    @pytest.mark.parametrize("executor", ["thread", "process"])
+    def test_exact_matches_serial(self, executor):
+        stream = make_stream()
+        reference = ShardedSketch(exact_factory, shards=4, executor="serial")
+        reference.update_many(stream)
+        with ShardedSketch(exact_factory, shards=4, executor=executor) as sharded:
+            for start in range(0, len(stream), 700):
+                sharded.update_many(stream[start : start + 700])
+            for key in range(31):
+                assert sharded.query(key) == reference.query(key)
+
+    @pytest.mark.parametrize("executor", ["thread", "process"])
+    def test_memento_matches_serial(self, executor):
+        stream = make_stream(n=1200)
+        reference = ShardedSketch(memento_factory, shards=3, executor="serial")
+        reference.update_many(stream)
+        with ShardedSketch(
+            memento_factory, shards=3, executor=executor
+        ) as sharded:
+            sharded.update_many(stream)
+            for key in range(31):
+                assert sharded.query(key) == reference.query(key)
+            assert [s.updates for s in sharded.shards] == [
+                s.updates for s in reference.shards
+            ]
+
+    def test_process_round_trip_replaces_shards(self):
+        with ShardedSketch(
+            exact_factory, shards=2, executor="process"
+        ) as sharded:
+            before = sharded.shards
+            sharded.update_many(make_stream(n=200))
+            # round-tripped shards are fresh unpickled objects
+            assert all(a is not b for a, b in zip(before, sharded.shards))
+            # every shard saw the full 200-packet stream (gap-aligned),
+            # so each window holds exactly WINDOW slots
+            assert all(s.size == WINDOW for s in sharded.shards)
+
+
+class TestLifecycle:
+    def test_close_idempotent_and_reusable(self):
+        executor = ThreadExecutor(max_workers=2)
+        sharded = ShardedSketch(
+            exact_factory, shards=2, executor=executor
+        )
+        sharded.update_many([1, 2, 3, 4])
+        sharded.close()
+        sharded.close()
+        # a later batch lazily re-creates the pool
+        sharded.update_many([5, 6])
+        assert sharded.updates == 6
+        sharded.close()
+
+    def test_map_empty_tasks(self):
+        assert ThreadExecutor().map(max, []) == []
+        assert SerialExecutor().map(max, []) == []
+
+
+class TestNonWindowedSharding:
+    @pytest.mark.parametrize("executor", ["serial", "thread"])
+    def test_space_saving_substreams(self, executor):
+        stream = make_stream()
+        with ShardedSketch(
+            lambda i: SpaceSaving(16), shards=4, executor=executor
+        ) as sharded:
+            sharded.update_many(stream)
+            # each shard only ever saw its owned keys
+            assert sum(s.processed for s in sharded.shards) == len(stream)
