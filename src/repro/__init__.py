@@ -102,6 +102,7 @@ from .netwide.controller import AggregationController, SketchController
 from .netwide.measurement_point import AggregatingPoint, SamplingPoint
 from .netwide.simulation import NetwideConfig, NetwideSystem, run_error_experiment
 from .sharding import (
+    PersistentProcessExecutor,
     ProcessExecutor,
     SerialExecutor,
     ShardedSketch,
@@ -152,6 +153,7 @@ __all__ = [
     "SerialExecutor",
     "ThreadExecutor",
     "ProcessExecutor",
+    "PersistentProcessExecutor",
     "make_executor",
     "VolumetricMemento",
     "VolumetricSpaceSaving",

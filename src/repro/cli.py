@@ -71,6 +71,14 @@ def build_parser() -> argparse.ArgumentParser:
                 "sliding-window sketches with merge-on-query; 1 = the "
                 "single-sketch path)",
             )
+            p.add_argument(
+                "--executor",
+                choices=("serial", "thread", "process", "persistent"),
+                default="serial",
+                help="shard execution strategy; 'persistent' keeps shard "
+                "state resident in long-lived workers (no per-batch "
+                "state round-trip)",
+            )
         if name == "fig10":
             p.add_argument(
                 "--timeline",
@@ -88,7 +96,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.figure == "fig4":
         rows = module.worked_example() if args.worked else module.run()
     elif args.figure == "fig9":
-        rows = module.run(seed=args.seed, shards=args.shards)
+        rows = module.run(
+            seed=args.seed, shards=args.shards, executor=args.executor
+        )
     elif args.figure == "fig1b":
         rows = module.run(simulate=not args.no_simulate, seed=args.seed)
     elif args.figure == "fig10" and args.timeline:

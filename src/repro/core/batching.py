@@ -7,9 +7,10 @@ and per-pattern regrouping logic exists exactly once:
 * :func:`as_batch` — the list/tuple coercion every ``update_many``
   fast path performs before hoisting its loop onto locals;
 * :class:`BatchIngest` — the mixin that gives a sketch the shared
-  ``extend`` (and a scalar-loop ``update_many`` fallback), so the
-  chunking bookkeeping lives here exactly once instead of being
-  re-implemented per class;
+  ``extend`` (plus a scalar-loop ``update_many`` fallback and the
+  generic :meth:`BatchIngest.ingest_plan` consumer of the columnar
+  kernel's plans), so the chunking bookkeeping lives here exactly once
+  instead of being re-implemented per class;
 * :func:`regroup_by_pattern` — the per-pattern regrouping used by the
   lattice sketches (MST, WindowBaseline, ExactWindowHHH).
 """
@@ -74,6 +75,42 @@ class BatchIngest:
         """Feed an arbitrary iterable through ``update_many`` in chunks."""
         for chunk in iter_chunks(iterable, chunk_size):
             self.update_many(chunk)
+
+    def ingest_plan(self, plan, *, sampled: bool = False) -> None:
+        """Consume a :class:`repro.core.kernel.IngestPlan`.
+
+        The plan covers ``plan.n`` stream packets of which only the
+        selected ones belong to this sketch.  With ``sampled=False`` the
+        selected items go through the sketch's own ``update`` semantics
+        (a Memento still flips its coin per item — the sharding layer's
+        owned-packet feed); with ``sampled=True`` they are treated as
+        already-sampled and routed through ``ingest_samples`` when the
+        sketch has one (the controller/decision-column feed).  Windowed
+        sketches advance over unselected stretches via ``ingest_gap``;
+        interval sketches simply never see them.
+
+        Subclasses with a faster representation override this (the
+        Memento family fuses the gap walk and the full updates; Space
+        Saving applies count-weighted runs).
+        """
+        apply = None
+        if sampled:
+            apply = getattr(self, "ingest_samples", None)
+        if apply is None:
+            apply = self.update_many
+        gap_fn = getattr(self, "ingest_gap", None)
+        if gap_fn is None or plan.dense:
+            if plan.items:
+                apply(plan.items)
+            return
+        for gap, segment in plan.segments():
+            if gap:
+                gap_fn(gap)
+            if segment:
+                apply(segment)
+        tail = plan.tail_gap
+        if tail:
+            gap_fn(tail)
 
 
 def regroup_by_pattern(hierarchy, packets, num_patterns: int) -> List[list]:

@@ -36,8 +36,9 @@ from ..hierarchy.domain import Hierarchy
 from ..hierarchy.hhh_output import compute_hhh
 from .api import Entry, WindowedEntries
 from .batching import BatchIngest, as_batch
+from .kernel import plan_from_positions
 from .memento import Memento
-from .sampling import draw_decisions, make_sampler
+from .sampling import draw_decision_array, draw_decisions, make_sampler
 
 __all__ = ["HMemento"]
 
@@ -167,12 +168,44 @@ class HMemento(BatchIngest):
             self._memento.window_update()
 
     def update_many(self, packets: Sequence) -> None:
-        """Process a batch of packets through the block-sampled fast path.
+        """Process a batch of packets through the columnar fast path.
 
         Byte-identical to the scalar :meth:`update` loop under a fixed
-        seed: decisions come from ``sample_block`` (same RNG consumption),
-        pattern draws happen in arrival order, runs of unsampled packets
-        collapse into the shared Memento's ``ingest_gap`` arithmetic.
+        seed: decisions come as a numpy column (``decision_array``, same
+        RNG consumption as the scalar calls), pattern draws happen in
+        arrival order for exactly the sampled packets, and the sampled
+        prefixes ride the shared Memento's span-fused
+        ``ingest_plan(..., sampled=True)`` — unsampled stretches never
+        touch per-packet Python objects.
+        """
+        packets = as_batch(packets)
+        n = len(packets)
+        if n == 0:
+            return
+        self._updates += n
+        decisions = draw_decision_array(self._sampler, n)
+        positions = np.flatnonzero(decisions)
+        if positions.size == 0:
+            self._memento.ingest_gap(n)
+            return
+        next_pattern = self._next_pattern
+        prefix_at = self.hierarchy.prefix_at
+        prefixes = [
+            prefix_at(packets[i], next_pattern())
+            for i in positions.tolist()
+        ]
+        self._memento.ingest_plan(
+            plan_from_positions(prefixes, positions, n), sampled=True
+        )
+
+    def update_many_blocked(self, packets: Sequence) -> None:
+        """The previous-generation (PR 1) batch path, kept as a reference.
+
+        Pre-draws a ``list[bool]`` decision block and walks it with
+        ``itertools.compress``, issuing one scalar ``full_update`` per
+        sampled packet.  Retained so the vectorized-ingest bench can
+        measure the columnar kernel against it and the differential
+        tests can pin all three generations to identical state.
         """
         packets = as_batch(packets)
         n = len(packets)

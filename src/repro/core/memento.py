@@ -47,17 +47,21 @@ from collections import deque
 from itertools import compress
 from typing import Deque, Dict, Hashable, Iterator, List, Optional, Sequence
 
+import numpy as np
+
 from .api import Entry, WindowedEntries
 from .batching import BatchIngest, as_batch
+from .kernel import IngestPlan, make_plan
 
 from .sampling import (
     BernoulliSampler,
     GeometricSampler,
     TableSampler,
+    draw_decision_array,
     draw_decisions,
     make_sampler,
 )
-from .space_saving import SpaceSaving
+from .space_saving import SpaceSaving, _Bucket
 
 __all__ = ["Memento", "WCSS"]
 
@@ -273,14 +277,17 @@ class Memento(BatchIngest):
             self.window_update()
 
     def update_many(self, items: Sequence[Hashable]) -> None:
-        """Process a batch of packets through the block-sampled fast path.
+        """Process a batch of packets through the columnar fast path.
 
         State after ``update_many(items)`` is identical to calling
         :meth:`update` once per item under the same seed: the sampler's
-        decisions are pre-drawn with ``sample_block`` (which consumes the
-        RNG exactly as the scalar calls would), runs of unsampled packets
-        collapse into :meth:`ingest_gap` arithmetic, and sampled packets
-        take the hoisted Full-update path.
+        decisions come as a numpy column (``decision_array``, which
+        consumes the RNG exactly as the scalar calls would), the kernel
+        compiles them into an ingest plan (``np.flatnonzero`` positions,
+        gap run-lengths), and :meth:`ingest_plan` replays the plan with
+        gaps collapsing into counter arithmetic and sampled packets
+        taking the inlined Full-update path.  No per-packet Python
+        objects are created for the unsampled majority.
         """
         items = as_batch(items)
         n = len(items)
@@ -296,6 +303,30 @@ class Memento(BatchIngest):
             # True without consuming randomness, so the decisions can be
             # skipped outright.  Any other sampler (FixedSampler scripting
             # skips, custom objects) is honoured via the general path.
+            self.full_update_many(items)
+            return
+        decisions = draw_decision_array(sampler, n)
+        self.ingest_plan(make_plan(items, decisions), sampled=True)
+
+    def update_many_blocked(self, items: Sequence[Hashable]) -> None:
+        """The previous-generation (PR 1) batch path, kept as a reference.
+
+        Pre-draws a ``list[bool]`` decision block and walks it with
+        ``itertools.compress`` — one Python bool per packet.  Retained so
+        the vectorized-ingest bench can measure the columnar kernel
+        against it and so the differential tests can pin all three
+        generations (scalar / blocked / vectorized) to identical state.
+        """
+        items = as_batch(items)
+        n = len(items)
+        if n == 0:
+            return
+        sampler = self._sampler
+        if (
+            self.tau >= 1.0
+            and isinstance(sampler, _ALWAYS_SAMPLE_AT_TAU1)
+            and sampler.tau >= 1.0
+        ):
             self.full_update_many(items)
             return
         decisions = draw_decisions(sampler, n)
@@ -420,6 +451,195 @@ class Memento(BatchIngest):
     def ingest_samples(self, items: Sequence[Hashable]) -> None:
         """Batch form of :meth:`ingest_sample`: one Full update per item."""
         self.full_update_many(items)
+
+    def ingest_plan(self, plan: IngestPlan, *, sampled: bool = False) -> None:
+        """Consume a kernel plan through the span-fused columnar loop.
+
+        With ``sampled=True`` (the decision-column and controller feeds)
+        every selected item receives a Full update.  The loop is
+        organized around **block spans** rather than packets: rotation
+        offsets are computed arithmetically from the countdown, samples
+        are split across spans with one ``np.searchsorted``, and each
+        span performs its boundary bookkeeping once, drains its expiries
+        in one bulk run (the drain queue never grows inside a block, so
+        a span of ``u`` updates pops exactly ``min(u, len(drain))``
+        entries — commuting the pops ahead of the span's insertions
+        leaves identical end-of-span state), and then applies the span's
+        sampled packets through a tight loop whose body is only the
+        fused Space Saving increment plus the overflow check.  The same
+        straight-line increment as ``SpaceSaving.add_query`` (which is
+        contractually in lockstep with ``add`` — the differential tests
+        compare all paths) is inlined so the hot path has no per-sample
+        calls at all.
+
+        With ``sampled=False`` the generic
+        :meth:`repro.core.batching.BatchIngest.ingest_plan` applies the
+        plan with per-item coin flips (the sharding layer's owned-packet
+        feed).
+        """
+        if not sampled:
+            super().ingest_plan(plan)
+            return
+        items = plan.items
+        if plan.dense:
+            if items:
+                self.full_update_many(items)
+            return
+        if not items:
+            if plan.n:
+                self.ingest_gap(plan.n)
+            return
+        positions = plan.positions
+        last = int(positions[-1]) + 1  # stream packets processed here
+        y = self._y
+        y_flush = y.flush
+        y_index = y._index
+        y_index_get = y_index.get
+        y_counters = y.counters
+        y_insert = y._insert
+        pending_y_items = 0
+        offsets = self._offsets
+        offsets_get = offsets.get
+        queues = self._queues
+        quantum = self.sample_block
+        block_size = self.block_size
+        k = self.k
+        blocks = self._blocks_into_frame
+        newest = self._newest
+        drain = self._drain
+        # rotation offsets are fixed by the countdown: the update that
+        # takes the countdown to zero rotates, then every block_size
+        first_rot = self._countdown - 1
+        if first_rot >= last:
+            nrot = 0
+            split = [len(items)]
+        else:
+            nrot = (last - 1 - first_rot) // block_size + 1
+            split = np.searchsorted(
+                positions,
+                first_rot + block_size * np.arange(nrot + 1, dtype=np.int64),
+            ).tolist()
+        sample_lo = 0
+        span_end = 0
+        for i in range(nrot + 1):
+            if i:
+                # span starts with the rotation update (which pops from
+                # the freshly exposed drain queue)
+                blocks += 1
+                if blocks == k:
+                    blocks = 0
+                    y_flush()
+                    pending_y_items = 0
+                queues.popleft()
+                newest = deque()
+                queues.append(newest)
+                drain = queues[0]
+                span = block_size
+                tail_span = last - span_end
+                if span > tail_span:
+                    span = tail_span
+                span_end += span
+            elif nrot:
+                span = first_rot
+                span_end = span
+            else:
+                span = last
+                span_end = last
+            if drain and span:
+                # bulk de-amortized expiry: one pop per update, capped
+                # by what the queue holds
+                pops = span if span < len(drain) else len(drain)
+                popleft = drain.popleft
+                for _ in range(pops):
+                    old_id = popleft()
+                    remaining = offsets[old_id] - 1
+                    if remaining:
+                        offsets[old_id] = remaining
+                    else:
+                        del offsets[old_id]
+            hi = split[i]
+            pending_y_items += hi - sample_lo
+            for item in items[sample_lo:hi]:
+                # fused SpaceSaving.add_query (stream-summary unit
+                # increment): successor-absorb, in-place bump, splice,
+                # or min-eviction
+                bucket = y_index_get(item)
+                if bucket is not None:
+                    keys = bucket.keys
+                    value = bucket.value + 1
+                    node = bucket.next
+                    if node is not None and node.value == value:
+                        node.keys[item] = keys.pop(item)
+                        y_index[item] = node
+                        if not keys:
+                            prev_b = bucket.prev
+                            if prev_b is not None:
+                                prev_b.next = node
+                            else:
+                                y._head = node
+                            node.prev = prev_b
+                    elif len(keys) == 1:
+                        bucket.value = value
+                    else:
+                        fresh = _Bucket(value)
+                        fresh.keys[item] = keys.pop(item)
+                        fresh.prev, fresh.next = bucket, node
+                        bucket.next = fresh
+                        if node is not None:
+                            node.prev = fresh
+                        y_index[item] = fresh
+                elif y._size < y_counters:
+                    y_insert(item, 1, 0, None)
+                    y._size += 1
+                    value = 1
+                else:
+                    head = y._head
+                    keys = head.keys
+                    victim = next(iter(keys))
+                    min_value = head.value
+                    value = min_value + 1
+                    node = head.next
+                    del keys[victim]
+                    del y_index[victim]
+                    if node is not None and node.value == value:
+                        node.keys[item] = min_value
+                        y_index[item] = node
+                        if not keys:
+                            y._head = node
+                            node.prev = None
+                    elif not keys:
+                        keys[item] = min_value
+                        head.value = value
+                        y_index[item] = head
+                    else:
+                        fresh = _Bucket(value)
+                        fresh.keys[item] = min_value
+                        fresh.prev, fresh.next = head, node
+                        head.next = fresh
+                        if node is not None:
+                            node.prev = fresh
+                        y_index[item] = fresh
+                if value % quantum == 0:  # overflow
+                    newest.append(item)
+                    offsets[item] = offsets_get(item, 0) + 1
+            sample_lo = hi
+        y._items += pending_y_items
+        if nrot:
+            # countdown resets to block_size on the rotation update and
+            # decrements once per update after it
+            self._countdown = block_size - (
+                last - (first_rot + (nrot - 1) * block_size) - 1
+            )
+        else:
+            self._countdown -= last
+        self._blocks_into_frame = blocks
+        self._newest = newest
+        self._drain = drain
+        self._updates += last
+        self._full_updates += len(items)
+        tail = plan.tail_gap
+        if tail:
+            self.ingest_gap(tail)
 
     def ingest_gap(self, count: int) -> None:
         """Advance the window for ``count`` unsampled (unreported) packets.

@@ -124,13 +124,37 @@ class RHHH(BatchIngest):
         self._instances[pattern].add(prefix)
 
     def update_many(self, packets: Sequence) -> None:
-        """Batch update: pre-draw the skip decisions, regroup per pattern.
+        """Batch update: columnar skip decisions, regroup per pattern.
 
         Both random streams (the geometric sampler and the pattern
         choices) are consumed in the same order as the scalar loop, so the
-        per-instance states are byte-identical under a fixed seed; the
+        per-instance states are byte-identical under a fixed seed.  The
+        decision column comes from ``decision_array`` and only the
+        sampled positions (``np.flatnonzero``) are walked — skipped
+        packets never materialize as Python objects, matching the
+        geometric sampler's do-nothing-between-samples contract.  The
         grouped prefixes then ride ``SpaceSaving.update_many``.
         """
+        packets = as_batch(packets)
+        n = len(packets)
+        self._packets += n
+        if n == 0:
+            return
+        positions = np.flatnonzero(self._sampler.decision_array(n))
+        next_pattern = self._next_pattern
+        prefix_at = self.hierarchy.prefix_at
+        per_pattern: List[List] = [[] for _ in self._instances]
+        for i in positions.tolist():
+            pattern = next_pattern()
+            per_pattern[pattern].append(prefix_at(packets[i], pattern))
+        self._sampled += positions.size
+        for instance, prefixes in zip(self._instances, per_pattern):
+            if prefixes:
+                instance.update_many(prefixes)
+
+    def update_many_blocked(self, packets: Sequence) -> None:
+        """The previous-generation (PR 1) batch path, kept as a reference
+        for the vectorized-ingest bench and the differential tests."""
         packets = as_batch(packets)
         n = len(packets)
         self._packets += n

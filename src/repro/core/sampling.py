@@ -12,14 +12,22 @@ Both are provided here, along with a plain :class:`BernoulliSampler`
 reference, behind a single ``should_sample()`` interface, so benches can
 reproduce Figure 7's crossover and tests can swap in deterministic samplers.
 
-Every sampler additionally exposes ``sample_block(n) -> list[bool]``, the
-batch-ingestion counterpart of ``should_sample``: it pre-draws the next
-``n`` decisions in one call so batch update paths pay the sampling cost
-once per block instead of once per packet.  ``sample_block`` is defined to
-consume the underlying randomness *exactly* as ``n`` successive
-``should_sample()`` calls would, so a batch-fed sketch stays byte-identical
-to a scalar-fed one under the same seed (the differential tests rely on
-this contract).
+Every sampler additionally exposes the columnar pair of ``should_sample``:
+
+* ``decision_array(n) -> np.ndarray[bool]`` — the next ``n`` decisions as
+  a numpy boolean column, the input of the vectorized ingestion kernel
+  (:mod:`repro.core.kernel`).  No per-packet Python objects are created:
+  the ingest path goes straight to ``np.flatnonzero`` on the array.
+* ``sample_block(n) -> list[bool]`` — the historical list form, now a
+  thin ``.tolist()`` wrapper over ``decision_array``.
+
+Both are defined to consume the underlying randomness *exactly* as ``n``
+successive ``should_sample()`` calls would, so a batch-fed sketch stays
+byte-identical to a scalar-fed one under the same seed (the differential
+tests rely on this contract).  :class:`GeometricSampler` realizes it with
+a shared skip buffer: skips are drawn in vectorized chunks (one ``log``
+per *sampled* packet, amortized), and the scalar and columnar paths
+consume the same buffered stream in order.
 """
 
 from __future__ import annotations
@@ -29,6 +37,8 @@ from typing import Iterable, List, Optional
 
 import numpy as np
 
+from .batching import iter_chunks
+
 __all__ = [
     "BernoulliSampler",
     "TableSampler",
@@ -36,7 +46,16 @@ __all__ = [
     "FixedSampler",
     "make_sampler",
     "draw_decisions",
+    "draw_decision_array",
 ]
+
+#: Fallback granularity: samplers without the block interface are drained
+#: through ``iter_chunks`` so no more than this many scalar decisions are
+#: ever materialized as Python objects at once, however large ``n`` is.
+FALLBACK_CHUNK = 1 << 15
+
+#: Vectorized skip draws per refill of :class:`GeometricSampler`'s buffer.
+_SKIP_CHUNK = 1 << 10
 
 
 def draw_decisions(sampler, n: int) -> List[bool]:
@@ -44,13 +63,62 @@ def draw_decisions(sampler, n: int) -> List[bool]:
 
     Falls back to scalar ``should_sample()`` calls for user-supplied
     sampler objects that predate the block interface, so batch ingestion
-    never demands more of a sampler than the documented contract.
+    never demands more of a sampler than the documented contract.  The
+    fallback drains the scalar calls through :func:`iter_chunks` in
+    :data:`FALLBACK_CHUNK`-sized slices, so a huge ``n`` never holds more
+    than one bounded chunk of intermediate state at a time.
     """
     sample_block = getattr(sampler, "sample_block", None)
     if sample_block is not None:
         return sample_block(n)
+    if n < 0:
+        raise ValueError(f"block size must be non-negative, got {n}")
     should_sample = sampler.should_sample
-    return [should_sample() for _ in range(n)]
+    out: List[bool] = []
+    for chunk in iter_chunks(
+        (should_sample() for _ in range(n)), FALLBACK_CHUNK
+    ):
+        out.extend(chunk)
+    return out
+
+
+def draw_decision_array(sampler, n: int) -> np.ndarray:
+    """The next ``n`` decisions as a boolean column, preferring the
+    columnar interface.
+
+    Resolution order mirrors the sampler capability ladder:
+
+    1. ``decision_array`` — the vectorized native path (1 byte/packet);
+    2. ``sample_block`` — coerced with ``np.asarray``;
+    3. scalar ``should_sample`` — streamed through :func:`iter_chunks`
+       into a preallocated byte array, so even a legacy sampler never
+       materializes ``n`` Python bools at once.
+    """
+    decision_array = getattr(sampler, "decision_array", None)
+    if decision_array is not None:
+        return decision_array(n)
+    if n < 0:
+        raise ValueError(f"block size must be non-negative, got {n}")
+    sample_block = getattr(sampler, "sample_block", None)
+    if sample_block is not None:
+        if n <= FALLBACK_CHUNK:
+            return np.asarray(sample_block(n), dtype=bool)
+        out = np.empty(n, dtype=bool)
+        filled = 0
+        while filled < n:
+            take = min(n - filled, FALLBACK_CHUNK)
+            out[filled : filled + take] = sample_block(take)
+            filled += take
+        return out
+    should_sample = sampler.should_sample
+    out = np.empty(n, dtype=bool)
+    filled = 0
+    for chunk in iter_chunks(
+        (should_sample() for _ in range(n)), FALLBACK_CHUNK
+    ):
+        out[filled : filled + len(chunk)] = chunk
+        filled += len(chunk)
+    return out
 
 
 class BernoulliSampler:
@@ -69,16 +137,20 @@ class BernoulliSampler:
             return True
         return self._rng.random() <= self.tau
 
-    def sample_block(self, n: int) -> List[bool]:
-        """Draw the next ``n`` decisions in one vectorized call.
+    def decision_array(self, n: int) -> np.ndarray:
+        """The next ``n`` decisions as one vectorized comparison.
 
         ``Generator.random(n)`` consumes the bit stream exactly as ``n``
-        scalar ``random()`` calls, so block and scalar feeding agree.
+        scalar ``random()`` calls, so columnar and scalar feeding agree.
         """
         _check_block(n)
         if self.tau >= 1.0:
-            return [True] * n
-        return (self._rng.random(n) <= self.tau).tolist()
+            return np.ones(n, dtype=bool)
+        return self._rng.random(n) <= self.tau
+
+    def sample_block(self, n: int) -> List[bool]:
+        """List form of :meth:`decision_array` (same RNG consumption)."""
+        return self.decision_array(n).tolist()
 
 
 class TableSampler:
@@ -91,10 +163,12 @@ class TableSampler:
 
     The table is re-randomized on wrap-around by re-rolling a fresh offset,
     so long streams do not replay an identical bit pattern in phase with
-    periodic traffic.
+    periodic traffic.  The bits are held twice: a numpy column for the
+    columnar path (``decision_array`` slices it, copy-free when the block
+    does not wrap) and a plain list for the scalar path.
     """
 
-    __slots__ = ("tau", "table_size", "_table", "_pos", "_rng")
+    __slots__ = ("tau", "table_size", "_bits", "_table", "_pos", "_rng")
 
     def __init__(
         self,
@@ -108,7 +182,8 @@ class TableSampler:
         self.tau = float(tau)
         self.table_size = int(table_size)
         self._rng = np.random.default_rng(seed)
-        self._table = (self._rng.random(self.table_size) <= self.tau).tolist()
+        self._bits = self._rng.random(self.table_size) <= self.tau
+        self._table = self._bits.tolist()
         self._pos = 0
 
     def should_sample(self) -> bool:
@@ -123,25 +198,38 @@ class TableSampler:
         self._pos = pos
         return bit
 
-    def sample_block(self, n: int) -> List[bool]:
-        """Slice the next ``n`` precomputed bits (re-rolling on wrap)."""
+    def decision_array(self, n: int) -> np.ndarray:
+        """Slice the next ``n`` precomputed bits (re-rolling on wrap).
+
+        Non-wrapping blocks return a read-only view of the table — zero
+        copies on the hot path; callers must not mutate the result.
+        """
         _check_block(n)
         if self.tau >= 1.0:
-            return [True] * n
-        out: List[bool] = []
-        pos = self._pos
-        table = self._table
+            return np.ones(n, dtype=bool)
+        bits = self._bits
         size = self.table_size
-        remaining = n
-        while remaining:
-            take = min(remaining, size - pos)
-            out.extend(table[pos : pos + take])
+        pos = self._pos
+        if pos + n < size:
+            out = bits[pos : pos + n]
+            out.flags.writeable = False  # view of the live table
+            self._pos = pos + n
+            return out
+        out = np.empty(n, dtype=bool)
+        filled = 0
+        while filled < n:
+            take = min(n - filled, size - pos)
+            out[filled : filled + take] = bits[pos : pos + take]
+            filled += take
             pos += take
-            remaining -= take
             if pos == size:
                 pos = int(self._rng.integers(0, size))
         self._pos = pos
         return out
+
+    def sample_block(self, n: int) -> List[bool]:
+        """List form of :meth:`decision_array` (same RNG consumption)."""
+        return self.decision_array(n).tolist()
 
 
 class GeometricSampler:
@@ -153,57 +241,90 @@ class GeometricSampler:
     costs one ``log`` per *sampled* packet.  This is the implementation RHHH
     uses, and it wins once ``tau`` is small enough that table lookups per
     packet dominate (the Figure 7 crossover).
+
+    Skips are drawn in vectorized chunks into a shared buffer (one
+    ``Generator.random(k)`` call plus one vectorized ``log`` per
+    :data:`_SKIP_CHUNK` skips); both the scalar and the columnar paths
+    consume that buffer in order, so every feeding pattern observes the
+    same skip sequence under the same seed.
     """
 
-    __slots__ = ("tau", "_rng", "_remaining", "_log1m")
+    __slots__ = ("tau", "_rng", "_remaining", "_log1m", "_buf", "_buf_list", "_buf_pos")
 
     def __init__(self, tau: float, seed: Optional[int] = None) -> None:
         _check_tau(tau)
         self.tau = float(tau)
         self._rng = np.random.default_rng(seed)
         self._log1m = math.log1p(-self.tau) if self.tau < 1.0 else 0.0
-        self._remaining = self._draw() if self.tau < 1.0 else 0
+        self._buf = np.empty(0, dtype=np.int64)
+        self._buf_list: List[int] = []
+        self._buf_pos = 0
+        self._remaining = self._next_skip() if self.tau < 1.0 else 0
 
-    def _draw(self) -> int:
-        u = self._rng.random()
+    def _refill(self) -> None:
+        """Draw the next :data:`_SKIP_CHUNK` skips in one vectorized pass."""
+        u = self._rng.random(_SKIP_CHUNK)
         # guard the measure-zero u == 0 case rather than crash on log(0)
-        if u <= 0.0:
-            u = 5e-324
-        return int(math.log(u) / self._log1m)
+        np.maximum(u, 5e-324, out=u)
+        np.log(u, out=u)
+        u /= self._log1m
+        self._buf = u.astype(np.int64)
+        self._buf_list = self._buf.tolist()
+        self._buf_pos = 0
+
+    def _next_skip(self) -> int:
+        pos = self._buf_pos
+        if pos == len(self._buf_list):
+            self._refill()
+            pos = 0
+        self._buf_pos = pos + 1
+        return self._buf_list[pos]
 
     def should_sample(self) -> bool:
         """True when the current skip run has been exhausted."""
         if self.tau >= 1.0:
             return True
         if self._remaining == 0:
-            self._remaining = self._draw()
+            self._remaining = self._next_skip()
             return True
         self._remaining -= 1
         return False
 
-    def sample_block(self, n: int) -> List[bool]:
-        """Materialize the next ``n`` decisions from the skip counter.
+    def decision_array(self, n: int) -> np.ndarray:
+        """The next ``n`` decisions with sampled positions set directly.
 
-        Cost stays one ``log`` per *sampled* packet; skip runs are applied
-        in O(1) arithmetic per run rather than per packet.
+        Skip runs never touch per-packet state: the buffered skips are
+        turned into sample positions with one cumulative sum per buffer
+        slice, and only those positions are written.
         """
         _check_block(n)
         if self.tau >= 1.0:
-            return [True] * n
-        out = [False] * n
-        remaining = self._remaining
-        i = 0
-        while i < n:
-            if remaining == 0:
-                out[i] = True
-                remaining = self._draw()
-                i += 1
-            else:
-                step = min(remaining, n - i)
-                remaining -= step
-                i += step
-        self._remaining = remaining
+            return np.ones(n, dtype=bool)
+        out = np.zeros(n, dtype=bool)
+        pos = self._remaining
+        if pos >= n:
+            self._remaining = pos - n
+            return out
+        while pos < n:
+            if self._buf_pos == len(self._buf_list):
+                self._refill()
+            avail = self._buf[self._buf_pos :]
+            # sample at `pos` consumes avail[0], landing at nxt[0]; the
+            # j-th emission this slice sits at emit[j] and lands at nxt[j]
+            nxt = pos + np.cumsum(avail + 1)
+            emit = np.empty(avail.size, dtype=np.int64)
+            emit[0] = pos
+            emit[1:] = nxt[:-1]
+            hits = int(np.searchsorted(emit, n, side="left"))
+            out[emit[:hits]] = True
+            self._buf_pos += hits
+            pos = int(nxt[hits - 1])
+        self._remaining = pos - n
         return out
+
+    def sample_block(self, n: int) -> List[bool]:
+        """List form of :meth:`decision_array` (same RNG consumption)."""
+        return self.decision_array(n).tolist()
 
 
 class FixedSampler:
@@ -237,6 +358,10 @@ class FixedSampler:
         if len(scripted) < n:
             scripted.extend([self._default] * (n - len(scripted)))
         return scripted
+
+    def decision_array(self, n: int) -> np.ndarray:
+        """Columnar form of :meth:`sample_block` (scripted, no RNG)."""
+        return np.asarray(self.sample_block(n), dtype=bool)
 
 
 def make_sampler(tau: float, method: str = "table", seed: Optional[int] = None):

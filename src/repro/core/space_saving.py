@@ -24,6 +24,7 @@ from __future__ import annotations
 from typing import Dict, Hashable, Iterator, List, Optional, Tuple
 
 from .batching import BatchIngest, as_batch
+from .kernel import collapse_run_arrays
 
 __all__ = ["SpaceSaving"]
 
@@ -142,8 +143,17 @@ class SpaceSaving(BatchIngest):
         """Process one arrival of ``key``.
 
         ``weight > 1`` performs ``weight`` logical arrivals at once (used by
-        the aggregation baseline when replaying merged reports); it keeps
-        the Space Saving invariants because the sketch is weight-mergeable.
+        the aggregation baseline when replaying merged reports, and by the
+        columnar kernel's run-collapsed feed); it keeps the Space Saving
+        invariants because the sketch is weight-mergeable.  A weighted add
+        ends in exactly the state ``weight`` back-to-back unit arrivals of
+        the same key would: the key lands on the same counter with the
+        same error (the eviction, if any, happens once up front and picks
+        the same victim), and any intermediate buckets the unit walk would
+        visit are created and destroyed without net effect.  This is why
+        :meth:`update_runs` may collapse *adjacent* duplicates only —
+        collapsing across distinct keys would reorder arrivals and change
+        eviction decisions.
         """
         if weight <= 0:
             raise ValueError(f"weight must be positive, got {weight}")
@@ -325,6 +335,127 @@ class SpaceSaving(BatchIngest):
         self._size = size
         self._items += len(items)
 
+    def update_runs(self, runs) -> None:
+        """Process run-collapsed ``(key, count)`` arrivals in order.
+
+        ``runs`` — any iterable of ``(key, count)`` pairs — is the
+        adjacent-duplicate collapse of a unit stream (see
+        :func:`repro.core.kernel.collapse_runs`): the total effect is
+        byte-identical to feeding the expanded stream through
+        :meth:`update_many`, but each run of ``count`` identical keys
+        costs one weighted increment instead of ``count`` unit walks.
+        Unit runs take the same hoisted fast path as ``update_many``;
+        weighted runs go through the (rarer) scan-based placement.
+        """
+        index = self._index
+        index_get = index.get
+        counters = self.counters
+        size = self._size
+        total = 0
+        for key, count in runs:
+            total += count
+            bucket = index_get(key)
+            if count != 1:
+                # weighted: same final state as `count` unit arrivals
+                if bucket is not None:
+                    value = bucket.value + count
+                    err = self._detach_key(key, bucket)
+                    self._insert(key, value, err, bucket)
+                elif size < counters:
+                    self._insert(key, count, 0, None)
+                    size += 1
+                else:
+                    head = self._head
+                    victim = next(iter(head.keys))
+                    min_value = head.value
+                    self._detach_key(victim, head)
+                    del index[victim]
+                    self._insert(key, min_value + count, min_value, head)
+                continue
+            if bucket is not None:
+                keys = bucket.keys
+                value = bucket.value + 1
+                node = bucket.next
+                if node is not None and node.value == value:
+                    node.keys[key] = keys.pop(key)
+                    index[key] = node
+                    if not keys:
+                        prev_b = bucket.prev
+                        if prev_b is not None:
+                            prev_b.next = node
+                        else:
+                            self._head = node
+                        node.prev = prev_b
+                elif len(keys) == 1:
+                    bucket.value = value
+                else:
+                    fresh = _Bucket(value)
+                    fresh.keys[key] = keys.pop(key)
+                    fresh.prev, fresh.next = bucket, node
+                    bucket.next = fresh
+                    if node is not None:
+                        node.prev = fresh
+                    index[key] = fresh
+                continue
+            if size < counters:
+                self._insert(key, 1, 0, None)
+                size += 1
+                continue
+            head = self._head
+            keys = head.keys
+            victim = next(iter(keys))
+            min_value = head.value
+            value = min_value + 1
+            node = head.next
+            del keys[victim]
+            del index[victim]
+            if node is not None and node.value == value:
+                node.keys[key] = min_value
+                index[key] = node
+                if not keys:
+                    self._head = node
+                    node.prev = None
+            elif not keys:
+                keys[key] = min_value
+                head.value = value
+                index[key] = head
+            else:
+                fresh = _Bucket(value)
+                fresh.keys[key] = min_value
+                fresh.prev, fresh.next = head, node
+                head.next = fresh
+                if node is not None:
+                    node.prev = fresh
+                index[key] = fresh
+        self._size = size
+        self._items += total
+
+    def ingest_plan(self, plan, *, sampled: bool = False) -> None:
+        """Consume a kernel plan: selected packets count, gaps do not.
+
+        An interval sketch has no window to advance, so the plan's
+        unselected stretches are ignored.  A cheap prefix probe counts
+        adjacent duplicates in the first few hundred items: only when at
+        least an eighth of them collapse does the batch pay for the full
+        vectorized collapse and apply as count-weighted runs
+        (:meth:`update_runs`, byte-identical to unit feeding).
+        Duplicate-poor or non-integer batches take the unit fast path
+        directly, so the probe costs well under a percent there.
+        """
+        items = plan.items
+        n = len(items)
+        if n == 0:
+            return
+        if n > 64 and type(items[0]) is int:
+            probe = items[: min(n, 257)]
+            dupes = sum(a == b for a, b in zip(probe, probe[1:]))
+            if dupes * 8 >= len(probe):
+                pair = collapse_run_arrays(items)
+                if pair is not None and len(pair[0]) <= n - (n >> 3):
+                    self.update_runs(zip(*pair))
+                    return
+        self.update_many(items)
+
     def query(self, key: Hashable) -> int:
         """Upper-bound estimate of ``key``'s count since the last flush.
 
@@ -373,6 +504,45 @@ class SpaceSaving(BatchIngest):
             (key, bucket.value, bucket.value - bucket.keys[key])
             for key, bucket in self._index.items()
         ]
+
+    # ------------------------------------------------------------------
+    # serialization
+    # ------------------------------------------------------------------
+    def __getstate__(self):
+        """Pickle the bucket chain as a flat list, not a linked structure.
+
+        The default reducer would walk the ``next`` pointers recursively
+        and overflow the interpreter stack on realistic counter budgets;
+        flattening makes sketches cheap and safe to ship across process
+        boundaries (the round-trip and persistent shard executors).
+        """
+        chain = []
+        bucket = self._head
+        while bucket is not None:
+            chain.append((bucket.value, list(bucket.keys.items())))
+            bucket = bucket.next
+        return {"counters": self.counters, "items": self._items, "chain": chain}
+
+    def __setstate__(self, state) -> None:
+        """Rebuild the linked bucket chain from its flat snapshot."""
+        self.counters = state["counters"]
+        self._items = state["items"]
+        self._index = {}
+        self._head = None
+        self._size = 0
+        prev: Optional[_Bucket] = None
+        for value, keys in state["chain"]:
+            bucket = _Bucket(value)
+            for key, err in keys:
+                bucket.keys[key] = err
+                self._index[key] = bucket
+                self._size += 1
+            bucket.prev = prev
+            if prev is not None:
+                prev.next = bucket
+            else:
+                self._head = bucket
+            prev = bucket
 
     @property
     def processed(self) -> int:

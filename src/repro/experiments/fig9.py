@@ -40,6 +40,7 @@ def run(
     stride: int = 50,
     seed: int = 2018,
     shards: int = 1,
+    executor: str = "serial",
 ) -> List[Dict[str, float]]:
     """One row per (trace, method) with the controller's RMSE.
 
@@ -48,7 +49,9 @@ def run(
     the method stays functional at reproduction scale — see EXPERIMENTS.md.
     ``shards > 1`` runs the Sample/Batch controllers over the sharded
     ingestion layer (hash-partitioned D-H-Memento shards, merge-on-query)
-    with the counter budget split across shards.
+    with the counter budget split across shards; ``executor`` picks the
+    shard execution strategy (``serial``/``thread``/``process``/
+    ``persistent`` — resident shard workers).
     """
     window = window if window is not None else scaled(20_000)
     length = int(window * 3)
@@ -67,6 +70,7 @@ def run(
                 seed=seed,
                 aggregate_max_entries=aggregate_entries,
                 shards=shards if method != "aggregate" else 1,
+                shard_executor=executor,
             )
             result = run_error_experiment(
                 config,

@@ -61,7 +61,8 @@ class NetwideConfig:
     #: Controller-side ingestion shards (1 = the single-sketch path).
     #: ``counters`` is split across shards so total state stays constant.
     shards: int = 1
-    #: Executor for the sharded controller: serial / thread / process.
+    #: Executor for the sharded controller: serial / thread / process /
+    #: persistent (resident shard workers, no per-batch state round-trip).
     shard_executor: str = "serial"
 
     def __post_init__(self) -> None:

@@ -7,10 +7,13 @@ Public surface:
   for the Memento family and merge-on-query combining.
 * :func:`shard_index` — the deterministic routing hash.
 * Executors — :class:`SerialExecutor`, :class:`ThreadExecutor`,
-  :class:`ProcessExecutor`, and :func:`make_executor`.
+  :class:`ProcessExecutor`, :class:`PersistentProcessExecutor`
+  (resident shard workers; state never round-trips per batch), and
+  :func:`make_executor`.
 """
 
 from .executors import (
+    PersistentProcessExecutor,
     ProcessExecutor,
     SerialExecutor,
     ThreadExecutor,
@@ -24,5 +27,6 @@ __all__ = [
     "SerialExecutor",
     "ThreadExecutor",
     "ProcessExecutor",
+    "PersistentProcessExecutor",
     "make_executor",
 ]

@@ -1,8 +1,8 @@
 """Pluggable executors for per-shard ingestion work.
 
 :class:`repro.sharding.sharded.ShardedSketch` hands each shard's batch
-plan to an executor's :meth:`map`; the executor decides where the work
-runs.  Three strategies ship:
+plan to an executor; the executor decides where the work runs.  Four
+strategies ship:
 
 * :class:`SerialExecutor` — run shard plans one after another in the
   calling thread.  Zero overhead, the default, and the baseline the
@@ -17,17 +17,31 @@ runs.  Three strategies ship:
   and the updated sketch is pickled back.  Shards therefore always live
   in the parent between calls (queries never cross process boundaries),
   at the price of serializing state both ways — profitable only when the
-  per-batch compute dwarfs the pickling cost.  Sketches with deep linked
-  structures (large Space Saving bucket chains) may need a raised
-  recursion limit to pickle.
+  per-batch compute dwarfs the pickling cost.
+* :class:`PersistentProcessExecutor` — one long-lived worker process per
+  shard holding the shard sketch **resident**: the initial state is
+  shipped once (``seed``), each batch sends only its per-shard plan
+  (positions + owned items) over a pipe, and state returns to the parent
+  only on demand (``collect``, which :class:`ShardedSketch` triggers
+  lazily at the first query after ingestion).  This removes the
+  per-batch state round-trip that makes :class:`ProcessExecutor`
+  profitable only for huge batches, and it is the strategy whose
+  ingestion critical path actually scales with shard count.  Marked
+  ``stateful = True`` so the sharding layer switches to the
+  seed/submit/collect protocol instead of ``map``.
 
-All executors implement ``map(fn, tasks)`` — apply ``fn(*task)`` for each
-task, returning results in task order — and ``close()``.  Any object with
-that surface can be passed wherever an executor name is accepted.
+The stateless executors implement ``map(fn, tasks)`` — apply
+``fn(*task)`` for each task, returning results in task order — and
+``close()``.  Any object with that surface can be passed wherever an
+executor name is accepted; objects additionally exposing the stateful
+protocol (``stateful``/``seed``/``submit``/``broadcast``/``collect``)
+get the resident-worker treatment.
 """
 
 from __future__ import annotations
 
+import multiprocessing as mp
+import traceback
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from typing import Callable, List, Optional, Sequence, Tuple
 
@@ -35,6 +49,7 @@ __all__ = [
     "SerialExecutor",
     "ThreadExecutor",
     "ProcessExecutor",
+    "PersistentProcessExecutor",
     "make_executor",
 ]
 
@@ -104,10 +119,162 @@ class ProcessExecutor(_PoolExecutor):
     _pool_cls = ProcessPoolExecutor
 
 
+def _persistent_worker(conn) -> None:
+    """Loop of one resident shard worker (module-level: must pickle).
+
+    The worker owns its shard sketch for the lifetime of the process.
+    Messages: ``("seed", shard)`` installs state; ``("apply", fn, *args)``
+    runs ``fn(shard, *args)`` in place; ``("collect",)`` ships the
+    current state (or the first recorded failure) back; ``("stop",)``
+    exits.  A failed apply poisons the worker — later applies are
+    skipped and the error surfaces at the next collect — so the parent
+    never silently continues on half-applied state.
+    """
+    shard = None
+    error: Optional[str] = None
+    while True:
+        try:
+            msg = conn.recv()
+        except EOFError:  # parent went away
+            return
+        kind = msg[0]
+        if kind == "apply":
+            if error is None:
+                try:
+                    fn = msg[1]
+                    fn(shard, *msg[2:])
+                except BaseException:
+                    error = traceback.format_exc()
+        elif kind == "collect":
+            if error is not None:
+                conn.send(("error", error))
+            else:
+                try:
+                    conn.send(("state", shard))
+                except BaseException:
+                    conn.send(("error", traceback.format_exc()))
+        elif kind == "seed":
+            shard = msg[1]
+            error = None
+        elif kind == "stop":
+            conn.close()
+            return
+
+
+class PersistentProcessExecutor:
+    """Resident shard workers: state stays put, only plans cross the pipe.
+
+    One worker process per shard.  ``seed(shards)`` ships each shard's
+    initial state once; ``submit(fn, tasks)`` sends one
+    ``fn(shard, *task)`` application per worker **without waiting** (the
+    parent can partition the next batch while workers apply — applies on
+    one worker are strictly ordered by the pipe); ``collect()`` is the
+    synchronization point that returns the current shard states (and
+    raises if any worker failed since the last seed).  ``close()``
+    terminates the workers; the sketch re-seeds lazily afterwards.
+    """
+
+    stateful = True
+
+    def __init__(self, mp_context: Optional[str] = None) -> None:
+        self._ctx = mp.get_context(mp_context)
+        self._workers: List = []
+        self._conns: List = []
+
+    @property
+    def seeded(self) -> bool:
+        """Whether resident workers currently hold shard state."""
+        return bool(self._workers)
+
+    def seed(self, shards: Sequence) -> None:
+        """Spawn one resident worker per shard and ship initial state.
+
+        Workers register before their state ships, so a mid-loop failure
+        (an unpicklable shard, a dead pipe) tears every spawned worker
+        down via :meth:`close` instead of leaking processes blocked on
+        ``recv``.
+        """
+        self.close()
+        try:
+            for shard in shards:
+                parent_conn, child_conn = self._ctx.Pipe()
+                worker = self._ctx.Process(
+                    target=_persistent_worker, args=(child_conn,), daemon=True
+                )
+                worker.start()
+                child_conn.close()
+                self._workers.append(worker)
+                self._conns.append(parent_conn)
+                parent_conn.send(("seed", shard))
+        except BaseException:
+            self.close()
+            raise
+
+    def submit(self, fn: Callable, tasks: Sequence[Tuple]) -> None:
+        """Send one ``fn(shard, *task)`` application per worker (no wait)."""
+        if len(tasks) != len(self._conns):
+            raise RuntimeError(
+                f"{len(tasks)} tasks for {len(self._conns)} resident workers"
+            )
+        for conn, task in zip(self._conns, tasks):
+            conn.send(("apply", fn, *task))
+
+    def broadcast(self, fn: Callable, *args) -> None:
+        """Send the same ``fn(shard, *args)`` application to every worker."""
+        for conn in self._conns:
+            conn.send(("apply", fn, *args))
+
+    def collect(self) -> List:
+        """Fetch current shard states (the sync point; raises on failure)."""
+        for conn in self._conns:
+            conn.send(("collect",))
+        states: List = []
+        failures: List[str] = []
+        for conn in self._conns:
+            kind, payload = conn.recv()
+            if kind == "error":
+                failures.append(payload)
+                states.append(None)
+            else:
+                states.append(payload)
+        if failures:
+            raise RuntimeError(
+                "persistent shard worker(s) failed:\n" + "\n".join(failures)
+            )
+        return states
+
+    def close(self) -> None:
+        """Stop all resident workers (idempotent); state in them is lost."""
+        for conn in self._conns:
+            try:
+                conn.send(("stop",))
+            except (BrokenPipeError, OSError):
+                pass
+        for conn in self._conns:
+            try:
+                conn.close()
+            except OSError:
+                pass
+        for worker in self._workers:
+            worker.join(timeout=5)
+            if worker.is_alive():  # pragma: no cover - defensive
+                worker.terminate()
+                worker.join(timeout=5)
+        self._workers = []
+        self._conns = []
+
+    def __del__(self):  # pragma: no cover - interpreter-teardown best effort
+        try:
+            self.close()
+        except Exception:
+            pass
+
+
 _EXECUTORS = {
     "serial": SerialExecutor,
     "thread": ThreadExecutor,
     "process": ProcessExecutor,
+    "persistent": PersistentProcessExecutor,
 }
 
 
@@ -125,6 +292,16 @@ def make_executor(spec: object = "serial"):
         return cls()
     if hasattr(spec, "map") and hasattr(spec, "close"):
         return spec
+    if (
+        getattr(spec, "stateful", False)
+        and hasattr(spec, "seed")
+        and hasattr(spec, "submit")
+        and hasattr(spec, "collect")
+        and hasattr(spec, "close")
+    ):
+        # a ready stateful executor (the resident-worker protocol)
+        return spec
     raise TypeError(
-        f"executor must be a name or expose map()/close(), got {spec!r}"
+        f"executor must be a name, expose map()/close(), or expose the "
+        f"stateful seed/submit/collect/close protocol, got {spec!r}"
     )

@@ -45,6 +45,7 @@ import numpy as np
 
 from ..core.api import Entry, SlidingSketch, WindowedEntries
 from ..core.batching import BatchIngest, as_batch
+from ..core.kernel import plan_from_positions
 from ..core.merge import (
     MergedWindowSketch,
     merge_entry_sets,
@@ -86,32 +87,43 @@ def _apply_shard_plan(shard, positions, items, total, windowed, method):
     """Apply one shard's slice of a global batch; returns the shard.
 
     ``positions`` are the global batch indices of the shard's owned
-    ``items`` (ascending).  Windowed shards interleave ``ingest_gap``
-    advances for the unowned stretches so their window tracks the global
-    stream; consecutive owned packets coalesce into one batched call.
-    Module-level (not a closure) so the process executor can pickle it.
+    ``items`` (ascending).  The slice is compiled into a kernel
+    :class:`~repro.core.kernel.IngestPlan` — run-length-encoded unowned
+    gaps plus contiguous owned segments, boundaries found with one
+    vectorized pass — and consumed through the shard's ``ingest_plan``
+    (``sampled=True`` routes pre-sampled controller feeds through
+    ``ingest_samples``).  Windowed shards thereby stay aligned with the
+    *global* window; interval shards just receive their owned packets.
+    Module-level (not a closure) so the process executors can pickle it.
     """
     if not windowed:
         if items:
             getattr(shard, method)(items)
         return shard
+    plan = plan_from_positions(
+        items, np.asarray(positions, dtype=np.int64), total
+    )
+    ingest_plan = getattr(shard, "ingest_plan", None)
+    if ingest_plan is not None:
+        ingest_plan(plan, sampled=method == "ingest_samples")
+        return shard
+    # custom shard without the kernel surface: replay the plan manually
     ingest = getattr(shard, method)
     gap = shard.ingest_gap
-    prev = -1
-    run: list = []
-    for pos, item in zip(positions, items):
-        if pos != prev + 1:
-            if run:
-                ingest(run)
-                run = []
-            gap(pos - prev - 1)
-        run.append(item)
-        prev = pos
-    if run:
-        ingest(run)
-    tail = total - 1 - prev
+    for lead, segment in plan.segments():
+        if lead:
+            gap(lead)
+        if segment:
+            ingest(segment)
+    tail = plan.tail_gap
     if tail:
         gap(tail)
+    return shard
+
+
+def _apply_shard_gap(shard, count):
+    """Advance one resident shard's window (persistent-executor message)."""
+    shard.ingest_gap(count)
     return shard
 
 
@@ -182,6 +194,12 @@ class ShardedSketch(BatchIngest):
         #: global-window-aligned ingestion; interval sketches get substreams
         self.windowed = hasattr(first, "ingest_gap")
         self._executor = make_executor(executor)
+        #: a stateful executor keeps shard state resident in its workers:
+        #: ingestion ships only plans, and ``_sync_shards`` pulls state
+        #: back lazily at the first query after a batch
+        self._stateful = bool(getattr(self._executor, "stateful", False))
+        self._resident = False
+        self._shards_stale = False
         self._updates = 0
         self._version = 0
         self._merge_version = -1
@@ -246,6 +264,11 @@ class ShardedSketch(BatchIngest):
     # ------------------------------------------------------------------
     def update(self, item: Hashable) -> None:
         """Route one packet; windowed non-owners advance their window."""
+        if self._resident:
+            # shard state lives in the workers: route even scalars through
+            # the plan pipeline so the resident copies stay authoritative
+            self._dispatch([item], "update_many")
+            return
         self._version += 1
         self._updates += 1
         if self.num_shards == 1:
@@ -267,6 +290,11 @@ class ShardedSketch(BatchIngest):
 
     def ingest_sample(self, item: Hashable) -> None:
         """Externally-sampled packet: Full update at the owner."""
+        if self._resident:
+            self._dispatch(
+                [item], "ingest_samples" if self.windowed else "update_many"
+            )
+            return
         self._version += 1
         self._updates += 1
         if self.num_shards == 1:
@@ -303,6 +331,10 @@ class ShardedSketch(BatchIngest):
             return
         self._version += 1
         self._updates += count
+        if self._resident:
+            self._executor.broadcast(_apply_shard_gap, count)
+            self._shards_stale = True
+            return
         for shard in self._shards:
             shard.ingest_gap(count)
 
@@ -317,13 +349,33 @@ class ShardedSketch(BatchIngest):
             getattr(self._shards[0], method)(items)
             return
         windowed = self.windowed
+        partition = self._partition(items)
+        if self._stateful:
+            if not self._resident:
+                # ship current parent state once; from here on only the
+                # per-shard plans cross the pipes
+                self._executor.seed(self._shards)
+                self._resident = True
+            self._executor.submit(
+                _apply_shard_plan,
+                [
+                    (positions, owned, n, windowed, method)
+                    for positions, owned in partition
+                ],
+            )
+            self._shards_stale = True
+            return
         tasks = [
             (shard, positions, owned, n, windowed, method)
-            for shard, (positions, owned) in zip(
-                self._shards, self._partition(items)
-            )
+            for shard, (positions, owned) in zip(self._shards, partition)
         ]
         self._shards = self._executor.map(_apply_shard_plan, tasks)
+
+    def _sync_shards(self) -> None:
+        """Pull resident shard state back from the workers when stale."""
+        if self._shards_stale:
+            self._shards = self._executor.collect()
+            self._shards_stale = False
 
     # ------------------------------------------------------------------
     # queries (merge-on-query)
@@ -334,6 +386,7 @@ class ShardedSketch(BatchIngest):
         Route mode asks the owning shard (``key_fn`` applies, exactly as
         it did at ingestion); sum mode adds the per-shard estimates.
         """
+        self._sync_shards()
         if self.query_mode == "route":
             return self._shards[self.shard_of(key)].query(key)
         return sum(shard.query(key) for shard in self._shards)
@@ -349,6 +402,7 @@ class ShardedSketch(BatchIngest):
 
     def query_lower(self, key: Hashable) -> float:
         """Guaranteed (lower-bound) part of the estimate."""
+        self._sync_shards()
         if self.query_mode == "route":
             shard = self._shards[self.shard_of(key)]
             return self._query_method(shard, "query_lower", "lower_bound")(key)
@@ -359,6 +413,7 @@ class ShardedSketch(BatchIngest):
 
     def query_point(self, key: Hashable) -> float:
         """Midpoint (bias-removed) estimate, for error metrics/detection."""
+        self._sync_shards()
         if self.query_mode == "route":
             shard = self._shards[self.shard_of(key)]
             return self._query_method(shard, "query_point")(key)
@@ -369,6 +424,7 @@ class ShardedSketch(BatchIngest):
 
     def candidates(self) -> Iterable[Hashable]:
         """Keys any shard currently tracks (disjoint under ``route``)."""
+        self._sync_shards()
         iters = []
         for shard in self._shards:
             cand = getattr(shard, "candidates", None)
@@ -388,6 +444,7 @@ class ShardedSketch(BatchIngest):
 
     def entries(self) -> List[Entry]:
         """Merged ``(key, estimate, guaranteed)`` snapshot (cached)."""
+        self._sync_shards()
         if self._merge_version != self._version or self._merged_entries is None:
             sets = [shard.entries() for shard in self._shards]
             budget = self.merge_counters or max(
@@ -405,6 +462,7 @@ class ShardedSketch(BatchIngest):
         family); the view answers scaled queries and heavy-hitter
         enumeration with the summed-quantum error bound.
         """
+        self._sync_shards()
         if self._merge_version != self._version or self._merged_view is None:
             snapshots = [shard.windowed_entries() for shard in self._shards]
             budget = self.merge_counters or max(
@@ -448,6 +506,7 @@ class ShardedSketch(BatchIngest):
         (reusing each sketch's own scaling semantics, e.g. RHHH's ``V``
         multiplier).
         """
+        self._sync_shards()
         out: Dict[Hashable, float] = {}
         total = self._updates
         for shard in self._shards:
@@ -494,6 +553,7 @@ class ShardedSketch(BatchIngest):
         heavy-hitter key set, which is what the single-sketch controller
         does for non-HHH algorithms.
         """
+        self._sync_shards()
         if (
             self.query_mode == "sum"
             and self.num_shards > 1
@@ -525,7 +585,8 @@ class ShardedSketch(BatchIngest):
     # ------------------------------------------------------------------
     @property
     def shards(self) -> Sequence:
-        """The live shard sketches (read-only view)."""
+        """The live shard sketches (read-only view; synced if resident)."""
+        self._sync_shards()
         return tuple(self._shards)
 
     @property
@@ -534,8 +595,21 @@ class ShardedSketch(BatchIngest):
         return self._updates
 
     def close(self) -> None:
-        """Release the executor's worker pool (idempotent)."""
-        self._executor.close()
+        """Release the executor's workers (idempotent).
+
+        Resident shard state is pulled back into the parent first, so
+        queries keep working after close; a later batch re-seeds fresh
+        workers lazily.  The workers are released even when that final
+        sync fails (poisoned or dead worker) — the failure propagates,
+        but nothing leaks and the parent keeps its last synced state.
+        """
+        try:
+            if self._shards_stale:
+                self._sync_shards()
+        finally:
+            self._shards_stale = False
+            self._executor.close()
+            self._resident = False
 
     def __enter__(self) -> "ShardedSketch":
         return self

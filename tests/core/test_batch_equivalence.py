@@ -273,6 +273,168 @@ class TestExactEquivalence:
             assert (x._counts, x._pos, x._total) == (y._counts, y._pos, y._total)
 
 
+class TestThreeGenerationEquivalence:
+    """Scalar, blocked (PR 1), and vectorized (columnar kernel) feeding
+    must all land in byte-identical state under a fixed seed."""
+
+    def blocked_feed(self, sketch, stream, chunks=(1, 7, 64, 1023, 4096)):
+        i, ci, n = 0, 0, len(stream)
+        while i < n:
+            chunk = chunks[ci % len(chunks)]
+            sketch.update_many_blocked(stream[i : i + chunk])
+            i += chunk
+            ci += 1
+        return sketch
+
+    @pytest.mark.parametrize("tau", [0.5, 0.1, 2**-8])
+    def test_memento(self, stream, tau):
+        a = Memento(WINDOW, counters=COUNTERS, tau=tau, seed=11)
+        b = Memento(WINDOW, counters=COUNTERS, tau=tau, seed=11)
+        c = Memento(WINDOW, counters=COUNTERS, tau=tau, seed=11)
+        scalar_feed(a, stream)
+        self.blocked_feed(b, stream)
+        batch_feed(c, stream)
+        assert memento_state(a) == memento_state(b) == memento_state(c)
+
+    def test_hmemento(self, stream):
+        a = HMemento(window=3000, hierarchy=SRC_HIERARCHY, counters=160,
+                     tau=0.3, seed=6)
+        b = HMemento(window=3000, hierarchy=SRC_HIERARCHY, counters=160,
+                     tau=0.3, seed=6)
+        c = HMemento(window=3000, hierarchy=SRC_HIERARCHY, counters=160,
+                     tau=0.3, seed=6)
+        scalar_feed(a, stream)
+        self.blocked_feed(b, stream)
+        batch_feed(c, stream)
+        assert a.updates == b.updates == c.updates
+        assert (
+            memento_state(a._memento)
+            == memento_state(b._memento)
+            == memento_state(c._memento)
+        )
+
+    def test_rhhh(self, stream):
+        a = RHHH(SRC_HIERARCHY, counters=64, seed=4)
+        b = RHHH(SRC_HIERARCHY, counters=64, seed=4)
+        c = RHHH(SRC_HIERARCHY, counters=64, seed=4)
+        scalar_feed(a, stream)
+        self.blocked_feed(b, stream)
+        batch_feed(c, stream)
+        assert (a.packets, a.sampled) == (b.packets, b.sampled)
+        assert (a.packets, a.sampled) == (c.packets, c.sampled)
+        for x, y, z in zip(a._instances, b._instances, c._instances):
+            assert (
+                space_saving_state(x)
+                == space_saving_state(y)
+                == space_saving_state(z)
+            )
+
+
+class TestPlanFedEquivalence:
+    """Kernel-plan feeding must equal the scalar replay of the same plan."""
+
+    def test_memento_sampled_plan_matches_scalar_replay(self, stream):
+        from repro.core.kernel import make_plan
+        import numpy as np
+
+        rng = np.random.default_rng(7)
+        a = Memento(WINDOW, counters=COUNTERS, tau=0.4, seed=3)
+        b = Memento(WINDOW, counters=COUNTERS, tau=0.4, seed=3)
+        offset = 0
+        for chunk_len in (900, 1, 4096, 2500, 37):
+            chunk = stream[offset : offset + chunk_len]
+            offset += chunk_len
+            decisions = rng.random(len(chunk)) < 0.3
+            plan = make_plan(chunk, decisions)
+            a.ingest_plan(plan, sampled=True)
+            # scalar replay of the identical plan
+            for keep, item in zip(decisions.tolist(), chunk):
+                if keep:
+                    b.ingest_sample(item)
+                else:
+                    b.ingest_gap(1)
+        assert memento_state(a) == memento_state(b)
+
+    def test_memento_unsampled_plan_matches_owned_feed(self, stream):
+        from repro.core.kernel import plan_from_positions
+        import numpy as np
+
+        # sampled=False: selected items flip their own coins (sharding)
+        a = Memento(WINDOW, counters=COUNTERS, tau=0.5, seed=9)
+        b = Memento(WINDOW, counters=COUNTERS, tau=0.5, seed=9)
+        chunk = stream[:4000]
+        positions = np.arange(0, 4000, 3, dtype=np.int64)
+        owned = [chunk[i] for i in positions.tolist()]
+        a.ingest_plan(plan_from_positions(owned, positions, 4000))
+        prev = -1
+        for pos, item in zip(positions.tolist(), owned):
+            if pos - prev - 1:
+                b.ingest_gap(pos - prev - 1)
+            b.update_many([item])
+            prev = pos
+        tail = 4000 - 1 - prev
+        if tail:
+            b.ingest_gap(tail)
+        assert memento_state(a) == memento_state(b)
+
+    def test_space_saving_dense_plan_matches_units(self, skewed_stream):
+        from repro.core.kernel import dense_plan
+
+        a = SpaceSaving(64)
+        b = SpaceSaving(64)
+        # chunk-sorted feed maximizes adjacent duplicates, exercising the
+        # count-weighted run path
+        for start in range(0, 8000, 1000):
+            chunk = sorted(skewed_stream[start : start + 1000])
+            a.update_many(chunk)
+            b.ingest_plan(dense_plan(chunk))
+        assert space_saving_state(a) == space_saving_state(b)
+
+    @given(
+        items=st.lists(st.integers(0, 6), max_size=200),
+        counters=st.integers(1, 5),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_property_runs_equal_units(self, items, counters):
+        from repro.core.kernel import collapse_runs
+
+        a = SpaceSaving(counters)
+        for item in items:
+            a.add(item)
+        b = SpaceSaving(counters)
+        b.update_runs(collapse_runs(items))
+        assert space_saving_state(a) == space_saving_state(b)
+
+
+class TestPickleRoundTrip:
+    """Sketches must survive pickling with byte-identical state — the
+    contract the process/persistent shard executors rely on — without
+    recursion limits, even at realistic counter budgets."""
+
+    def test_space_saving_deep_chain(self, stream):
+        import pickle
+
+        ss = SpaceSaving(512)
+        ss.update_many(stream)
+        clone = pickle.loads(pickle.dumps(ss))
+        assert space_saving_state(clone) == space_saving_state(ss)
+        # both keep evolving identically
+        ss.update_many(stream[:500])
+        clone.update_many(stream[:500])
+        assert space_saving_state(clone) == space_saving_state(ss)
+
+    def test_memento_round_trip(self, stream):
+        import pickle
+
+        m = Memento(WINDOW, counters=512, tau=0.3, seed=2)
+        m.update_many(stream)
+        clone = pickle.loads(pickle.dumps(m))
+        assert memento_state(clone) == memento_state(m)
+        m.update_many(stream[:500])
+        clone.update_many(stream[:500])
+        assert memento_state(clone) == memento_state(m)
+
+
 class TestCustomSamplerObjects:
     """Batch paths must honour the documented sampler contract: a plain
     object with only ``should_sample()`` (no ``sample_block``)."""

@@ -12,7 +12,11 @@ from repro import (
     TableSampler,
     make_sampler,
 )
-from repro.core.sampling import draw_decisions
+from repro.core.sampling import (
+    FALLBACK_CHUNK,
+    draw_decision_array,
+    draw_decisions,
+)
 
 ALL_SAMPLERS = [BernoulliSampler, TableSampler, GeometricSampler]
 
@@ -161,6 +165,122 @@ class TestSampleBlock:
         assert 0.17 < sum(decisions) / len(decisions) < 0.23
 
 
+class TestDecisionArray:
+    """``decision_array(n)`` must be bit-identical to ``sample_block(n)``
+    and to ``n`` scalar ``should_sample()`` calls — the columnar kernel's
+    input contract."""
+
+    @pytest.mark.parametrize("method", ["table", "geometric", "bernoulli"])
+    @pytest.mark.parametrize("tau", [0.01, 0.3, 0.9, 1.0])
+    def test_matches_scalar_and_block_streams(self, method, tau):
+        scalar = make_sampler(tau, method=method, seed=5)
+        block = make_sampler(tau, method=method, seed=5)
+        columnar = make_sampler(tau, method=method, seed=5)
+        want = [scalar.should_sample() for _ in range(2000)]
+        blocks, columns = [], []
+        for size in (1, 7, 0, 64, 251, 999, 678):
+            blocks.extend(block.sample_block(size))
+            got = columnar.decision_array(size)
+            assert isinstance(got, np.ndarray) and got.dtype == np.bool_
+            columns.extend(got.tolist())
+        assert blocks == want
+        assert columns == want
+        # all three stay in sync afterwards
+        assert columnar.decision_array(50).tolist() == [
+            scalar.should_sample() for _ in range(50)
+        ]
+
+    @pytest.mark.parametrize("method", ["table", "geometric", "bernoulli"])
+    def test_crossing_table_wrap(self, method):
+        kwargs = {"table_size": 64} if method == "table" else {}
+        cls = {
+            "table": TableSampler,
+            "geometric": GeometricSampler,
+            "bernoulli": BernoulliSampler,
+        }[method]
+        scalar = cls(0.4, seed=9, **kwargs)
+        columnar = cls(0.4, seed=9, **kwargs)
+        want = [scalar.should_sample() for _ in range(500)]
+        assert columnar.decision_array(500).tolist() == want
+
+    def test_empty_consumes_nothing(self):
+        sampler = make_sampler(0.5, method="geometric", seed=1)
+        fresh = make_sampler(0.5, method="geometric", seed=1)
+        assert sampler.decision_array(0).size == 0
+        assert sampler.decision_array(40).tolist() == fresh.decision_array(40).tolist()
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            make_sampler(0.5, method="table", seed=1).decision_array(-1)
+
+    def test_fixed_sampler_scripted(self):
+        sampler = FixedSampler([True, False, True], default=False)
+        assert sampler.decision_array(5).tolist() == [
+            True, False, True, False, False,
+        ]
+
+    def test_geometric_interleaved_scalar_and_columnar(self):
+        # mixing feeding styles must consume one shared skip stream
+        mixed = GeometricSampler(0.2, seed=13)
+        scalar = GeometricSampler(0.2, seed=13)
+        got = []
+        for step, size in enumerate((30, 17, 55, 90)):
+            got.extend(mixed.decision_array(size).tolist())
+            got.append(mixed.should_sample())
+        want = [scalar.should_sample() for _ in range(len(got))]
+        assert got == want
+
+
+class TestDrawDecisionArray:
+    """Module-level fallback ladder: decision_array → sample_block →
+    streamed scalar calls."""
+
+    class BlockOnlySampler:
+        """Has sample_block but not decision_array."""
+
+        def __init__(self):
+            self.inner = FixedSampler([True, False] * 500, default=False)
+            self.sample_block = self.inner.sample_block
+            self.should_sample = self.inner.should_sample
+
+    class ScalarOnlySampler:
+        """Only the documented minimal scalar surface."""
+
+        def __init__(self):
+            self.calls = 0
+
+        def should_sample(self):
+            self.calls += 1
+            return self.calls % 3 == 0
+
+    def test_prefers_native_decision_array(self):
+        sampler = make_sampler(0.5, method="table", seed=3)
+        fresh = make_sampler(0.5, method="table", seed=3)
+        assert (
+            draw_decision_array(sampler, 100).tolist()
+            == fresh.decision_array(100).tolist()
+        )
+
+    def test_block_only_coerced(self):
+        out = draw_decision_array(self.BlockOnlySampler(), 7)
+        assert isinstance(out, np.ndarray)
+        assert out.tolist() == [True, False, True, False, True, False, True]
+
+    def test_scalar_only_streams_in_chunks(self):
+        sampler = self.ScalarOnlySampler()
+        n = FALLBACK_CHUNK + 1000  # forces more than one fallback chunk
+        out = draw_decision_array(sampler, n)
+        assert sampler.calls == n
+        assert out.dtype == np.bool_ and out.size == n
+        assert out[:9].tolist() == [False, False, True] * 3
+        assert int(out.sum()) == n // 3
+
+    def test_scalar_only_empty(self):
+        sampler = self.ScalarOnlySampler()
+        assert draw_decision_array(sampler, 0).size == 0
+        assert sampler.calls == 0
+
+
 class TestDrawDecisions:
     """draw_decisions: block fast path plus the scalar fallback for
     sampler objects that predate ``sample_block``."""
@@ -189,6 +309,22 @@ class TestDrawDecisions:
     def test_prefers_sample_block(self):
         sampler = FixedSampler([True, False], default=False)
         assert draw_decisions(sampler, 4) == [True, False, False, False]
+
+    def test_fallback_streams_large_n_through_chunks(self):
+        # regression: the scalar fallback must stream through iter_chunks
+        # (bounded intermediate state) instead of materializing one giant
+        # comprehension — and still produce every decision exactly once
+        sampler = self.LegacySampler()
+        n = FALLBACK_CHUNK * 2 + 17
+        decisions = draw_decisions(sampler, n)
+        assert sampler.calls == n
+        assert len(decisions) == n
+        assert decisions[:9] == [False, False, True] * 3
+        assert sum(decisions) == n // 3
+
+    def test_fallback_rejects_negative(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            draw_decisions(self.LegacySampler(), -1)
 
     def test_memento_accepts_legacy_sampler(self):
         from repro import Memento

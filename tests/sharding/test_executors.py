@@ -9,6 +9,7 @@ import pytest
 from repro import (
     ExactWindowCounter,
     Memento,
+    PersistentProcessExecutor,
     ProcessExecutor,
     SerialExecutor,
     ShardedSketch,
@@ -25,9 +26,9 @@ def exact_factory(i):
 
 
 def memento_factory(i):
-    # small counter budget keeps the bucket chains shallow enough to
-    # pickle through the process executor without recursion tuning
-    return Memento(window=WINDOW, counters=8, tau=1.0, seed=1 + i)
+    # SpaceSaving pickles its bucket chain iteratively, so realistic
+    # counter budgets cross process boundaries without recursion tuning
+    return Memento(window=WINDOW, counters=64, tau=1.0, seed=1 + i)
 
 
 def make_stream(n=2000, seed=23):
@@ -40,10 +41,20 @@ class TestMakeExecutor:
         assert isinstance(make_executor("serial"), SerialExecutor)
         assert isinstance(make_executor("thread"), ThreadExecutor)
         assert isinstance(make_executor("process"), ProcessExecutor)
+        assert isinstance(make_executor("persistent"), PersistentProcessExecutor)
 
     def test_ready_object_passthrough(self):
         executor = SerialExecutor()
         assert make_executor(executor) is executor
+
+    def test_ready_stateful_object_passthrough(self):
+        executor = PersistentProcessExecutor()
+        assert make_executor(executor) is executor
+        with ShardedSketch(
+            exact_factory, shards=2, executor=executor
+        ) as sharded:
+            sharded.update_many(make_stream(n=200))
+            assert sum(s.size for s in sharded.shards) > 0
 
     def test_rejects_unknown(self):
         with pytest.raises(ValueError, match="unknown executor"):
@@ -59,7 +70,7 @@ class TestMakeExecutor:
 class TestExecutorEquivalence:
     """Every strategy must produce byte-identical shard state."""
 
-    @pytest.mark.parametrize("executor", ["thread", "process"])
+    @pytest.mark.parametrize("executor", ["thread", "process", "persistent"])
     def test_exact_matches_serial(self, executor):
         stream = make_stream()
         reference = ShardedSketch(exact_factory, shards=4, executor="serial")
@@ -70,7 +81,7 @@ class TestExecutorEquivalence:
             for key in range(31):
                 assert sharded.query(key) == reference.query(key)
 
-    @pytest.mark.parametrize("executor", ["thread", "process"])
+    @pytest.mark.parametrize("executor", ["thread", "process", "persistent"])
     def test_memento_matches_serial(self, executor):
         stream = make_stream(n=1200)
         reference = ShardedSketch(memento_factory, shards=3, executor="serial")
@@ -96,6 +107,128 @@ class TestExecutorEquivalence:
             # every shard saw the full 200-packet stream (gap-aligned),
             # so each window holds exactly WINDOW slots
             assert all(s.size == WINDOW for s in sharded.shards)
+
+
+class TestPersistentExecutor:
+    """Resident shard workers: lazy sync, mixed feeds, lifecycle, errors."""
+
+    def test_oracle_identity_across_frames(self):
+        # sharded-over-exact with resident workers must stay result-
+        # identical to the unsharded exact window oracle
+        stream = make_stream(n=2500)
+        oracle = ExactWindowCounter(WINDOW)
+        oracle.update_many(stream)
+        with ShardedSketch(
+            exact_factory, shards=4, executor="persistent"
+        ) as sharded:
+            for start in range(0, len(stream), 600):
+                sharded.update_many(stream[start : start + 600])
+            for key in range(31):
+                assert sharded.query(key) == oracle.query(key)
+            assert sharded.heavy_hitters(0.03) == oracle.heavy_hitters(0.03)
+
+    def test_mixed_scalar_gap_and_batch_feed(self):
+        stream = make_stream(n=1500)
+        reference = ShardedSketch(memento_factory, shards=3, executor="serial")
+        with ShardedSketch(
+            memento_factory, shards=3, executor="persistent"
+        ) as sharded:
+            for target in (sharded, reference):
+                target.update_many(stream[:900])
+                target.update(stream[900])  # scalar while resident
+                target.ingest_gap(25)
+                target.ingest_sample(stream[901])
+                target.update_many(stream[902:])
+            for key in range(31):
+                assert sharded.query(key) == reference.query(key)
+            assert sharded.updates == reference.updates
+            assert [s.updates for s in sharded.shards] == [
+                s.updates for s in reference.shards
+            ]
+
+    def test_queries_between_batches_stay_consistent(self):
+        stream = make_stream(n=1200)
+        reference = ShardedSketch(exact_factory, shards=2, executor="serial")
+        with ShardedSketch(
+            exact_factory, shards=2, executor="persistent"
+        ) as sharded:
+            for start in range(0, len(stream), 300):
+                chunk = stream[start : start + 300]
+                sharded.update_many(chunk)
+                reference.update_many(chunk)
+                # query-after-batch forces a collect; the next batch
+                # must keep feeding the still-resident workers
+                assert sharded.query(chunk[0]) == reference.query(chunk[0])
+
+    def test_close_syncs_state_and_allows_reseed(self):
+        stream = make_stream(n=800)
+        sharded = ShardedSketch(exact_factory, shards=2, executor="persistent")
+        sharded.update_many(stream)
+        sharded.close()  # must pull resident state back first
+        reference = ShardedSketch(exact_factory, shards=2, executor="serial")
+        reference.update_many(stream)
+        assert sharded.query(stream[0]) == reference.query(stream[0])
+        # a later batch lazily re-seeds fresh workers
+        sharded.update_many(stream[:100])
+        reference.update_many(stream[:100])
+        assert sharded.query(stream[0]) == reference.query(stream[0])
+        sharded.close()
+
+    def test_executor_seeded_flag(self):
+        executor = PersistentProcessExecutor()
+        assert not executor.seeded
+        executor.seed([ExactWindowCounter(8), ExactWindowCounter(8)])
+        assert executor.seeded
+        executor.close()
+        assert not executor.seeded
+
+    def test_seed_failure_leaves_no_live_workers(self):
+        executor = PersistentProcessExecutor()
+        # second shard is unpicklable: seed must fail AND tear down the
+        # already-spawned first worker instead of leaking it
+        with pytest.raises(Exception):
+            executor.seed([ExactWindowCounter(8), lambda: None])
+        assert not executor.seeded
+        # the executor stays usable afterwards
+        executor.seed([ExactWindowCounter(8)])
+        assert executor.seeded
+        executor.close()
+
+    def test_close_releases_workers_despite_poisoned_sync(self):
+        sharded = ShardedSketch(exact_factory, shards=1, executor="persistent")
+        executor = sharded._executor
+        executor.seed([ExactWindowCounter(8)])
+        executor.submit(_poison, [()])
+        sharded._resident = True
+        sharded._shards_stale = True
+        with pytest.raises(RuntimeError, match="shard worker"):
+            sharded.close()
+        # failure propagated, but the workers were still released
+        assert not executor.seeded
+        assert not sharded._resident and not sharded._shards_stale
+
+    def test_worker_failure_surfaces_at_collect(self):
+        executor = PersistentProcessExecutor()
+        executor.seed([ExactWindowCounter(8)])
+        try:
+            executor.submit(_poison, [()])
+            with pytest.raises(RuntimeError, match="shard worker"):
+                executor.collect()
+        finally:
+            executor.close()
+
+    def test_submit_task_count_mismatch(self):
+        executor = PersistentProcessExecutor()
+        executor.seed([ExactWindowCounter(8)])
+        try:
+            with pytest.raises(RuntimeError, match="resident workers"):
+                executor.submit(_poison, [(), ()])
+        finally:
+            executor.close()
+
+
+def _poison(shard):
+    raise ValueError("boom")
 
 
 class TestLifecycle:
