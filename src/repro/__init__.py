@@ -103,6 +103,7 @@ from .netwide.measurement_point import AggregatingPoint, SamplingPoint
 from .netwide.simulation import NetwideConfig, NetwideSystem, run_error_experiment
 from .sharding import (
     PersistentProcessExecutor,
+    PipelineConfig,
     ProcessExecutor,
     SerialExecutor,
     ShardedSketch,
@@ -155,6 +156,7 @@ __all__ = [
     "ProcessExecutor",
     "PersistentProcessExecutor",
     "make_executor",
+    "PipelineConfig",
     "VolumetricMemento",
     "VolumetricSpaceSaving",
     "ChangeEvent",

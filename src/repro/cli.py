@@ -79,6 +79,14 @@ def build_parser() -> argparse.ArgumentParser:
                 "state resident in long-lived workers (no per-batch "
                 "state round-trip)",
             )
+            p.add_argument(
+                "--pipeline",
+                action="store_true",
+                help="enable the pipelined ingestion front-end on the "
+                "sharded controller: report-scale writes coalesce in a "
+                "bounded buffer and a background thread overlaps "
+                "partitioning with the shard workers' applies",
+            )
         if name == "fig10":
             p.add_argument(
                 "--timeline",
@@ -97,7 +105,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         rows = module.worked_example() if args.worked else module.run()
     elif args.figure == "fig9":
         rows = module.run(
-            seed=args.seed, shards=args.shards, executor=args.executor
+            seed=args.seed,
+            shards=args.shards,
+            executor=args.executor,
+            pipeline=args.pipeline,
         )
     elif args.figure == "fig1b":
         rows = module.run(simulate=not args.no_simulate, seed=args.seed)

@@ -132,18 +132,22 @@ def _run_method(
         seed=seed,
         aggregate_max_entries=aggregate_entries,
     )
-    system = NetwideSystem(config)
-    for t, (src, is_attack) in enumerate(zip(flood.src, flood.is_attack)):
-        system.offer(t % points, src)
-        if is_attack:
-            total_attack += 1
-            if ((src & mask), 8) not in detections:
-                missed += 1
-        if t % check_every == 0:
-            for target in subnets:
-                if target not in detections and system.query_point(target) > bar:
-                    detections[target] = t
-            timeline.append((t, len(detections)))
+    # context-managed: the system owns its controller's executor workers
+    with NetwideSystem(config) as system:
+        for t, (src, is_attack) in enumerate(zip(flood.src, flood.is_attack)):
+            system.offer(t % points, src)
+            if is_attack:
+                total_attack += 1
+                if ((src & mask), 8) not in detections:
+                    missed += 1
+            if t % check_every == 0:
+                for target in subnets:
+                    if (
+                        target not in detections
+                        and system.query_point(target) > bar
+                    ):
+                        detections[target] = t
+                timeline.append((t, len(detections)))
     return FloodRunResult(
         method=method,
         detections=detections,

@@ -41,6 +41,7 @@ def run(
     seed: int = 2018,
     shards: int = 1,
     executor: str = "serial",
+    pipeline: object = False,
 ) -> List[Dict[str, float]]:
     """One row per (trace, method) with the controller's RMSE.
 
@@ -51,7 +52,9 @@ def run(
     ingestion layer (hash-partitioned D-H-Memento shards, merge-on-query)
     with the counter budget split across shards; ``executor`` picks the
     shard execution strategy (``serial``/``thread``/``process``/
-    ``persistent`` — resident shard workers).
+    ``persistent`` — resident shard workers); ``pipeline`` enables the
+    pipelined ingestion front-end (coalesced report-scale writes +
+    background partitioning) on the sharded controller.
     """
     window = window if window is not None else scaled(20_000)
     length = int(window * 3)
@@ -71,6 +74,7 @@ def run(
                 aggregate_max_entries=aggregate_entries,
                 shards=shards if method != "aggregate" else 1,
                 shard_executor=executor,
+                shard_pipeline=pipeline if method != "aggregate" else False,
             )
             result = run_error_experiment(
                 config,

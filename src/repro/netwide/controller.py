@@ -108,6 +108,18 @@ class SketchController:
             return self.algorithm.heavy_prefixes(theta)
         return self.algorithm.heavy_hitters(theta)
 
+    def close(self) -> None:
+        """Release the hosted algorithm's resources (idempotent).
+
+        A sharded algorithm holds executor workers and possibly a
+        pipeline thread; plain sketches have no ``close`` and nothing to
+        release.  The controller owns the sketch it hosts, so system
+        teardown routes through here.
+        """
+        close = getattr(self.algorithm, "close", None)
+        if close is not None:
+            close()
+
 
 class AggregationController:
     """Idealized aggregation: lossless merge of exact deltas, delay-limited.
@@ -190,6 +202,9 @@ class AggregationController:
             threshold_count=theta * self.window,
             correction=0.0,
         )
+
+    def close(self) -> None:
+        """Nothing to release (uniform controller lifecycle surface)."""
 
     @property
     def retained_reports(self) -> int:

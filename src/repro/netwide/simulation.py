@@ -64,6 +64,11 @@ class NetwideConfig:
     #: Executor for the sharded controller: serial / thread / process /
     #: persistent (resident shard workers, no per-batch state round-trip).
     shard_executor: str = "serial"
+    #: Pipelined ingestion front-end for the sharded controller:
+    #: ``False`` (synchronous, the default), ``True`` (default knobs) or
+    #: a buffer size — report-scale writes coalesce and a background
+    #: thread overlaps partitioning with the shard workers' applies.
+    shard_pipeline: object = False
 
     def __post_init__(self) -> None:
         if self.method not in METHODS:
@@ -163,6 +168,7 @@ class NetwideSystem:
                     shards=config.shards,
                     executor=config.shard_executor,
                     query_mode="sum",
+                    pipeline=config.shard_pipeline,
                 )
             else:
 
@@ -179,6 +185,7 @@ class NetwideSystem:
                     shards=config.shards,
                     executor=config.shard_executor,
                     query_mode="route",
+                    pipeline=config.shard_pipeline,
                 )
         elif config.hierarchy is not None:
             algorithm = HMemento(
@@ -272,6 +279,25 @@ class NetwideSystem:
                 out.add(prefix)
         return out
 
+    def close(self) -> None:
+        """Release controller-side resources (idempotent).
+
+        A sharded controller may hold executor worker processes
+        (``shard_executor="process"``/``"persistent"``) and a pipeline
+        thread; without an explicit teardown every simulated point in a
+        fig9 sweep leaks them.  The simulation owns the controller it
+        built, so it owns the ``close()`` — callers that construct a
+        :class:`NetwideSystem` directly should use it as a context
+        manager or call :meth:`close` when done.
+        """
+        self.controller.close()
+
+    def __enter__(self) -> "NetwideSystem":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
     @property
     def bytes_sent(self) -> int:
         """Total report bytes shipped by all points."""
@@ -330,7 +356,6 @@ def run_error_experiment(
     Returns a summary with the RMSE, byte accounting, and the effective
     transport parameters (tau, batch size).
     """
-    system = NetwideSystem(config)
     window = config.window
     if warmup is None:
         warmup = min(window, len(stream) // 4)
@@ -347,37 +372,41 @@ def run_error_experiment(
         ]
 
     acc = RunningRMSE()
-    for t, (packet, point) in enumerate(
-        zip(
-            stream,
-            _assignment_iter(
-                len(stream), config.points, assignment, weights, config.seed
-            ),
-        )
-    ):
-        system.offer(point, packet)
-        keys = query_keys(packet)
-        if use_hierarchy:
-            for idx, key in enumerate(keys):
-                oracles[idx].update(key)
-        else:
-            oracle.update(packet)
-        if t >= warmup and t % stride == 0:
+    # the system owns executor workers/pipeline threads when the
+    # controller is sharded — tear them down even on a mid-run failure
+    with NetwideSystem(config) as system:
+        for t, (packet, point) in enumerate(
+            zip(
+                stream,
+                _assignment_iter(
+                    len(stream), config.points, assignment, weights, config.seed
+                ),
+            )
+        ):
+            system.offer(point, packet)
+            keys = query_keys(packet)
             if use_hierarchy:
                 for idx, key in enumerate(keys):
-                    acc.add(oracles[idx].query(key), system.query_point(key))
+                    oracles[idx].update(key)
             else:
-                for key in keys:
-                    acc.add(oracle.query(key), system.query_point(key))
+                oracle.update(packet)
+            if t >= warmup and t % stride == 0:
+                if use_hierarchy:
+                    for idx, key in enumerate(keys):
+                        acc.add(oracles[idx].query(key), system.query_point(key))
+                else:
+                    for key in keys:
+                        acc.add(oracle.query(key), system.query_point(key))
 
-    return {
-        "method": config.method,
-        "rmse": acc.rmse,
-        "observations": float(acc.count),
-        "bytes_sent": float(system.bytes_sent),
-        "reports_sent": float(system.reports_sent),
-        "bytes_per_packet": system.bytes_sent / max(1, len(stream)),
-        "tau": system.tau,
-        "batch_size": float(system.batch_size),
-        "shards": float(config.shards),
-    }
+        summary = {
+            "method": config.method,
+            "rmse": acc.rmse,
+            "observations": float(acc.count),
+            "bytes_sent": float(system.bytes_sent),
+            "reports_sent": float(system.reports_sent),
+            "bytes_per_packet": system.bytes_sent / max(1, len(stream)),
+            "tau": system.tau,
+            "batch_size": float(system.batch_size),
+            "shards": float(config.shards),
+        }
+    return summary

@@ -10,6 +10,9 @@ Public surface:
   :class:`ProcessExecutor`, :class:`PersistentProcessExecutor`
   (resident shard workers; state never round-trips per batch), and
   :func:`make_executor`.
+* Pipelined front-end — :class:`PipelineConfig` /
+  ``ShardedSketch(pipeline=...)``: coalesced write buffering plus a
+  background partitioner thread overlapping worker applies.
 """
 
 from .executors import (
@@ -19,6 +22,7 @@ from .executors import (
     ThreadExecutor,
     make_executor,
 )
+from .pipeline import PipelineConfig, make_pipeline_config
 from .sharded import ShardedSketch, shard_index
 
 __all__ = [
@@ -29,4 +33,6 @@ __all__ = [
     "ProcessExecutor",
     "PersistentProcessExecutor",
     "make_executor",
+    "PipelineConfig",
+    "make_pipeline_config",
 ]

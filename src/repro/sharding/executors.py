@@ -84,11 +84,24 @@ class _PoolExecutor:
         return self._pool
 
     def map(self, fn: Callable, tasks: Sequence[Tuple]) -> List:
-        """Apply ``fn(*task)`` per task on the pool, preserving order."""
+        """Apply ``fn(*task)`` per task on the pool, preserving order.
+
+        One future per task (not ``pool.map`` over transposed columns,
+        which silently returned ``[]`` for zero-arity tasks and
+        truncated ragged ones), so the result always has exactly one
+        entry per task.
+        """
         if not tasks:
             return []
         pool = self._ensure_pool()
-        return list(pool.map(fn, *zip(*tasks)))
+        futures = [pool.submit(fn, *task) for task in tasks]
+        results = [future.result() for future in futures]
+        if len(results) != len(tasks):  # pragma: no cover - structural guard
+            raise RuntimeError(
+                f"executor returned {len(results)} results for "
+                f"{len(tasks)} tasks"
+            )
+        return results
 
     def close(self) -> None:
         """Shut the pool down (idempotent); a later map() re-creates it."""
@@ -279,8 +292,16 @@ _EXECUTORS = {
 
 
 def make_executor(spec: object = "serial"):
-    """Resolve an executor: a name (``serial``/``thread``/``process``) or
-    any ready object exposing ``map``/``close``."""
+    """Resolve an executor: a name (``serial``/``thread``/``process``/
+    ``persistent``) or any ready object exposing one of the protocols.
+
+    The stateful (resident-worker) protocol is checked **first**: an
+    executor declaring ``stateful`` with the full
+    ``seed``/``submit``/``broadcast``/``collect``/``close`` surface gets
+    the resident treatment even when it also exposes a stateless
+    ``map()`` — matching how :class:`ShardedSketch` routes ingestion off
+    the ``stateful`` flag.
+    """
     if isinstance(spec, str):
         try:
             cls = _EXECUTORS[spec]
@@ -290,18 +311,26 @@ def make_executor(spec: object = "serial"):
                 f"{sorted(_EXECUTORS)}"
             ) from None
         return cls()
-    if hasattr(spec, "map") and hasattr(spec, "close"):
+    if getattr(spec, "stateful", False):
+        # a declared stateful executor must carry the complete
+        # resident-worker protocol: ShardedSketch routes ingestion off
+        # the flag, so letting one through on the map()/close() fallback
+        # would defer the failure to a mid-ingestion AttributeError
+        missing = [
+            name
+            for name in ("seed", "submit", "broadcast", "collect", "close")
+            if not hasattr(spec, name)
+        ]
+        if missing:
+            raise TypeError(
+                f"executor declares stateful=True but is missing "
+                f"{'/'.join(missing)} of the resident-worker protocol: "
+                f"{spec!r}"
+            )
         return spec
-    if (
-        getattr(spec, "stateful", False)
-        and hasattr(spec, "seed")
-        and hasattr(spec, "submit")
-        and hasattr(spec, "collect")
-        and hasattr(spec, "close")
-    ):
-        # a ready stateful executor (the resident-worker protocol)
+    if hasattr(spec, "map") and hasattr(spec, "close"):
         return spec
     raise TypeError(
         f"executor must be a name, expose map()/close(), or expose the "
-        f"stateful seed/submit/collect/close protocol, got {spec!r}"
+        f"stateful seed/submit/broadcast/collect/close protocol, got {spec!r}"
     )

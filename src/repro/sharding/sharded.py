@@ -33,6 +33,15 @@ Two query disciplines cover the two ways keys relate to routing:
 
 Merged snapshots are cached and invalidated by an ingestion version
 counter, so repeated queries between batches merge once.
+
+``pipeline=...`` enables the **pipelined ingestion front-end**
+(:mod:`repro.sharding.pipeline`): scalar and report-scale writes
+coalesce in a bounded buffer and a background partitioner thread
+overlaps chunk partitioning (and the blocking pipe sends) with the
+persistent executor's worker applies.  Every query path drains the
+pipeline first (via ``_sync_shards``), so results stay identical to
+synchronous ingestion; :meth:`ShardedSketch.flush` is the explicit sync
+point.
 """
 
 from __future__ import annotations
@@ -52,6 +61,7 @@ from ..core.merge import (
     merge_windowed_entry_sets,
 )
 from .executors import make_executor
+from .pipeline import PipelinedDispatcher, WriteBuffer, make_pipeline_config
 
 __all__ = ["ShardedSketch", "shard_index"]
 
@@ -155,6 +165,15 @@ class ShardedSketch(BatchIngest):
     merge_counters:
         Counter budget of merged snapshots (default: every merged row is
         kept — the union is exact for disjoint shards).
+    pipeline:
+        ``None``/``False`` (default) keeps ingestion synchronous.
+        ``True``, a buffer size, or a
+        :class:`~repro.sharding.pipeline.PipelineConfig` enables the
+        pipelined front-end: writes coalesce in a bounded buffer and a
+        background thread partitions/dispatches them, overlapping with
+        the persistent executor's worker applies.  Queries and
+        :meth:`flush` are the sync points; results are identical to
+        synchronous ingestion.
 
     Examples
     --------
@@ -173,6 +192,7 @@ class ShardedSketch(BatchIngest):
         key_fn: Optional[Callable[[Hashable], Hashable]] = None,
         query_mode: str = "route",
         merge_counters: Optional[int] = None,
+        pipeline: object = None,
     ) -> None:
         if shards <= 0:
             raise ValueError(f"shards must be positive, got {shards}")
@@ -198,6 +218,16 @@ class ShardedSketch(BatchIngest):
         #: ingestion ships only plans, and ``_sync_shards`` pulls state
         #: back lazily at the first query after a batch
         self._stateful = bool(getattr(self._executor, "stateful", False))
+        #: pipelined front-end (None = synchronous): a coalescing write
+        #: buffer plus a lazily-started background dispatcher thread;
+        #: every query path drains both through ``flush``
+        self._pipeline_config = make_pipeline_config(pipeline)
+        self._buffer = (
+            WriteBuffer(self._pipeline_config.buffer_size)
+            if self._pipeline_config is not None
+            else None
+        )
+        self._dispatcher: Optional[PipelinedDispatcher] = None
         self._resident = False
         self._shards_stale = False
         self._updates = 0
@@ -264,6 +294,11 @@ class ShardedSketch(BatchIngest):
     # ------------------------------------------------------------------
     def update(self, item: Hashable) -> None:
         """Route one packet; windowed non-owners advance their window."""
+        if self._buffer is not None:
+            self._version += 1
+            self._updates += 1
+            self._buffer_write("update_many", (item,))
+            return
         if self._resident:
             # shard state lives in the workers: route even scalars through
             # the plan pipeline so the resident copies stay authoritative
@@ -290,6 +325,13 @@ class ShardedSketch(BatchIngest):
 
     def ingest_sample(self, item: Hashable) -> None:
         """Externally-sampled packet: Full update at the owner."""
+        if self._buffer is not None:
+            self._version += 1
+            self._updates += 1
+            self._buffer_write(
+                "ingest_samples" if self.windowed else "update_many", (item,)
+            )
+            return
         if self._resident:
             self._dispatch(
                 [item], "ingest_samples" if self.windowed else "update_many"
@@ -331,6 +373,14 @@ class ShardedSketch(BatchIngest):
             return
         self._version += 1
         self._updates += count
+        if self._buffer is not None:
+            if self._buffer.add_gap(count):
+                self._spill_buffer()
+            return
+        self._gap_now(count)
+
+    def _gap_now(self, count: int) -> None:
+        """Apply a window advance to every shard (inline or pipelined)."""
         if self._resident:
             self._executor.broadcast(_apply_shard_gap, count)
             self._shards_stale = True
@@ -345,6 +395,14 @@ class ShardedSketch(BatchIngest):
             return
         self._version += 1
         self._updates += n
+        if self._buffer is not None:
+            self._buffer_write(method, items)
+            return
+        self._dispatch_now(items, method)
+
+    def _dispatch_now(self, items: Sequence, method: str) -> None:
+        """Partition one batch and apply it (inline or pipelined)."""
+        n = len(items)
         if self.num_shards == 1:
             getattr(self._shards[0], method)(items)
             return
@@ -371,8 +429,53 @@ class ShardedSketch(BatchIngest):
         ]
         self._shards = self._executor.map(_apply_shard_plan, tasks)
 
+    # ------------------------------------------------------------------
+    # pipelined front-end plumbing
+    # ------------------------------------------------------------------
+    def _buffer_write(self, method: str, items: Sequence) -> None:
+        """Coalesce a write into the buffer; spill once it fills up."""
+        if self._buffer.add_items(method, items):
+            self._spill_buffer()
+
+    def _spill_buffer(self) -> None:
+        """Hand every buffered op to the background dispatcher."""
+        buffered = self._buffer.drain()
+        if not buffered:
+            return
+        dispatcher = self._dispatcher
+        if dispatcher is None:
+            dispatcher = self._dispatcher = PipelinedDispatcher(
+                self._dispatch_now,
+                self._gap_now,
+                depth=self._pipeline_config.depth,
+            )
+        for method, payload in buffered:
+            dispatcher.submit(method, payload)
+
+    def flush(self) -> None:
+        """Synchronize the pipelined front-end (no-op when synchronous).
+
+        Pushes buffered writes into the dispatch queue and blocks until
+        the background thread has applied every in-flight op, raising if
+        any dispatch failed since the last :meth:`close`.  Every query
+        path routes through here (via ``_sync_shards``), so pipelined
+        results are indistinguishable from synchronous ingestion.
+        Idempotent: a drained pipeline flushes as a no-op.
+        """
+        if self._buffer is None:
+            return
+        self._spill_buffer()
+        if self._dispatcher is not None:
+            self._dispatcher.drain()
+
+    @property
+    def pipelined(self) -> bool:
+        """Whether the pipelined ingestion front-end is enabled."""
+        return self._buffer is not None
+
     def _sync_shards(self) -> None:
-        """Pull resident shard state back from the workers when stale."""
+        """Drain the pipeline, then pull resident state back when stale."""
+        self.flush()
         if self._shards_stale:
             self._shards = self._executor.collect()
             self._shards_stale = False
@@ -595,18 +698,22 @@ class ShardedSketch(BatchIngest):
         return self._updates
 
     def close(self) -> None:
-        """Release the executor's workers (idempotent).
+        """Release the pipeline thread and the executor's workers.
 
-        Resident shard state is pulled back into the parent first, so
-        queries keep working after close; a later batch re-seeds fresh
-        workers lazily.  The workers are released even when that final
-        sync fails (poisoned or dead worker) — the failure propagates,
-        but nothing leaks and the parent keeps its last synced state.
+        Safe to call mid-pipeline and idempotent: in-flight buffered
+        writes are drained first, then resident shard state is pulled
+        back into the parent, so queries keep working after close; a
+        later write restarts the pipeline and re-seeds fresh workers
+        lazily.  The thread and the workers are released even when the
+        final drain/sync fails (poisoned pipeline or dead worker) — the
+        failure propagates, but nothing leaks and the parent keeps its
+        last synced state.
         """
         try:
-            if self._shards_stale:
-                self._sync_shards()
+            self._sync_shards()
         finally:
+            if self._dispatcher is not None:
+                self._dispatcher.close()
             self._shards_stale = False
             self._executor.close()
             self._resident = False

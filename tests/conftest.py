@@ -2,10 +2,37 @@
 
 from __future__ import annotations
 
+import gc
+import multiprocessing as mp
+import time
+
 import numpy as np
 import pytest
 
 from repro import BACKBONE, DATACENTER, SRC_DST_HIERARCHY, SRC_HIERARCHY, generate_trace
+
+
+@pytest.fixture(scope="session", autouse=True)
+def assert_no_leaked_processes():
+    """Suite-wide guard: no child process may outlive the test session.
+
+    Every executor/simulation owns a ``close()`` (ShardedSketch,
+    NetwideSystem, the pool executors); a worker still alive here means
+    some path dropped its teardown.  A short grace period lets pools
+    that were shut down on the last test finish exiting, and a
+    ``gc.collect()`` runs the best-effort ``__del__`` closers first so
+    the guard only trips on genuinely unreachable leaks.
+    """
+    yield
+    gc.collect()
+    deadline = time.monotonic() + 10.0
+    while mp.active_children() and time.monotonic() < deadline:
+        time.sleep(0.05)
+    leaked = mp.active_children()
+    assert not leaked, (
+        f"child processes leaked past the test session: {leaked} — "
+        f"a ShardedSketch/NetwideSystem/executor was not closed"
+    )
 
 
 @pytest.fixture

@@ -43,6 +43,24 @@ def test_seed_flag_forwarded(monkeypatch):
     assert seen.get("seed") == 99
 
 
+def test_fig9_pipeline_flag_forwarded(monkeypatch):
+    module = cli._FIGURES["fig9"]
+    seen = {}
+
+    def fake_run(*args, **kwargs):
+        seen.update(kwargs)
+        return [{"x": 1.0}]
+
+    monkeypatch.setattr(module, "run", fake_run)
+    monkeypatch.setattr(module, "format_table", lambda rows: "t")
+    cli.main(["fig9", "--shards", "2", "--executor", "persistent", "--pipeline"])
+    assert seen.get("shards") == 2
+    assert seen.get("executor") == "persistent"
+    assert seen.get("pipeline") is True
+    cli.main(["fig9"])
+    assert seen.get("pipeline") is False
+
+
 def test_fig4_worked_bypasses_run(monkeypatch, capsys):
     module = cli._FIGURES["fig4"]
     monkeypatch.setattr(

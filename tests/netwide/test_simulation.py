@@ -2,12 +2,15 @@
 
 from __future__ import annotations
 
+import multiprocessing as mp
+
 import pytest
 
 from repro import (
     NetwideConfig,
     NetwideSystem,
     SRC_HIERARCHY,
+    ShardedSketch,
     generate_trace,
     run_error_experiment,
 )
@@ -82,6 +85,79 @@ class TestSystemWiring:
         assert system.reports_sent > 0
         # the controller saw (covered) most of the stream
         assert system.controller.packets_covered > 3000
+
+
+class TestLifecycle:
+    """Simulations must tear down the executor workers they spawn."""
+
+    def _persistent_config(self, **overrides):
+        base = dict(
+            points=2,
+            method="batch",
+            budget=2.0,
+            window=1500,
+            counters=128,
+            seed=7,
+            shards=2,
+            shard_executor="persistent",
+        )
+        base.update(overrides)
+        return NetwideConfig(**base)
+
+    def test_close_releases_worker_processes(self, stream):
+        system = NetwideSystem(self._persistent_config())
+        for i, pkt in enumerate(stream[:3000]):
+            system.offer(i % 2, pkt)
+        assert system.query(stream[0]) >= 0.0
+        system.close()
+        system.close()  # idempotent
+        assert mp.active_children() == []
+        # queries keep working on the synced-back parent state
+        assert system.query(stream[0]) >= 0.0
+
+    def test_context_manager_closes(self, stream):
+        with NetwideSystem(self._persistent_config()) as system:
+            for i, pkt in enumerate(stream[:2000]):
+                system.offer(i % 2, pkt)
+        assert mp.active_children() == []
+
+    def test_error_experiment_leaves_no_children(self, stream):
+        result = run_error_experiment(
+            self._persistent_config(), stream[:4000], stride=200
+        )
+        assert result["observations"] > 0
+        assert mp.active_children() == []
+
+    def test_pipelined_sharded_experiment_matches_serial(self, stream):
+        # shard_pipeline must not change a single estimate: the whole
+        # experiment (reports, gaps, on-arrival queries) is differential
+        base = dict(
+            points=3,
+            method="batch",
+            budget=2.0,
+            window=1500,
+            counters=256,
+            seed=7,
+            shards=2,
+        )
+        serial = run_error_experiment(
+            NetwideConfig(**base), stream[:6000], stride=100
+        )
+        pipelined = run_error_experiment(
+            NetwideConfig(**base, shard_pipeline=True), stream[:6000], stride=100
+        )
+        assert pipelined["rmse"] == serial["rmse"]
+        assert pipelined["observations"] == serial["observations"]
+        assert mp.active_children() == []
+
+    def test_system_builds_pipelined_controller(self):
+        config = self._persistent_config(
+            shard_executor="serial", shard_pipeline=True
+        )
+        with NetwideSystem(config) as system:
+            algorithm = system.controller.algorithm
+            assert isinstance(algorithm, ShardedSketch)
+            assert algorithm.pipelined
 
 
 class TestDetectedSubnets:

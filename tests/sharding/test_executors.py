@@ -66,6 +66,88 @@ class TestMakeExecutor:
         with pytest.raises(ValueError):
             ThreadExecutor(max_workers=0)
 
+    def test_stateful_with_map_gets_resident_treatment(self):
+        # the docstring promises the stateful protocol wins over a
+        # stateless map() surface on the same object; pin the check
+        # order AND that ShardedSketch actually routes the resident way
+        class Hybrid:
+            stateful = True
+
+            def __init__(self):
+                self.calls = []
+                self._shards = []
+
+            def seed(self, shards):
+                self.calls.append("seed")
+                self._shards = list(shards)
+
+            def submit(self, fn, tasks):
+                self.calls.append("submit")
+                for shard, task in zip(self._shards, tasks):
+                    fn(shard, *task)
+
+            def broadcast(self, fn, *args):
+                self.calls.append("broadcast")
+                for shard in self._shards:
+                    fn(shard, *args)
+
+            def collect(self):
+                self.calls.append("collect")
+                return list(self._shards)
+
+            def map(self, fn, tasks):  # must never be picked
+                self.calls.append("map")
+                return [fn(*task) for task in tasks]
+
+            def close(self):
+                self.calls.append("close")
+
+        executor = Hybrid()
+        assert make_executor(executor) is executor
+        with ShardedSketch(exact_factory, shards=2, executor=executor) as sharded:
+            sharded.update_many(make_stream(n=300))
+            sharded.query(0)
+        assert "seed" in executor.calls and "submit" in executor.calls
+        assert "map" not in executor.calls
+
+    def test_stateful_without_broadcast_is_rejected(self):
+        # the resident windowed gap path needs broadcast(); an executor
+        # claiming stateful without the full protocol must fail at
+        # construction, not with an AttributeError mid-ingestion
+        class Incomplete:
+            stateful = True
+
+            def seed(self, shards):  # pragma: no cover - never called
+                pass
+
+            def submit(self, fn, tasks):  # pragma: no cover - never called
+                pass
+
+            def collect(self):  # pragma: no cover - never called
+                return []
+
+            def close(self):
+                pass
+
+        with pytest.raises(TypeError, match="broadcast"):
+            make_executor(Incomplete())
+
+    def test_stateful_flag_with_only_map_surface_is_rejected(self):
+        # stateful=True must not slip through on the map()/close()
+        # fallback: ShardedSketch routes off the flag and would crash
+        # deep inside _dispatch on the first sharded batch
+        class MisdeclaredStateless:
+            stateful = True
+
+            def map(self, fn, tasks):  # pragma: no cover - never called
+                return [fn(*task) for task in tasks]
+
+            def close(self):
+                pass
+
+        with pytest.raises(TypeError, match="stateful=True"):
+            make_executor(MisdeclaredStateless())
+
 
 class TestExecutorEquivalence:
     """Every strategy must produce byte-identical shard state."""
@@ -231,6 +313,14 @@ def _poison(shard):
     raise ValueError("boom")
 
 
+def _forty_two():
+    return 42
+
+
+def _arg_count(*args):
+    return len(args)
+
+
 class TestLifecycle:
     def test_close_idempotent_and_reusable(self):
         executor = ThreadExecutor(max_workers=2)
@@ -248,6 +338,26 @@ class TestLifecycle:
     def test_map_empty_tasks(self):
         assert ThreadExecutor().map(max, []) == []
         assert SerialExecutor().map(max, []) == []
+
+    def test_map_zero_arity_tasks_keep_their_results(self):
+        # zip(*tasks) over empty tuples used to collapse the task list
+        # and silently return [] — one result per task is the contract
+        executor = ThreadExecutor(max_workers=2)
+        try:
+            assert executor.map(_forty_two, [(), ()]) == [42, 42]
+            assert executor.map(_forty_two, [()]) == [42]
+        finally:
+            executor.close()
+        assert SerialExecutor().map(_forty_two, [()]) == [42]
+
+    def test_map_ragged_arity_tasks(self):
+        # transposed pool.map also truncated ragged tasks to the
+        # shortest arity; per-task submission must apply each fully
+        executor = ThreadExecutor(max_workers=2)
+        try:
+            assert executor.map(_arg_count, [(1,), (1, 2, 3), ()]) == [1, 3, 0]
+        finally:
+            executor.close()
 
 
 class TestNonWindowedSharding:
