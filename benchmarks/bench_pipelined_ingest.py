@@ -45,8 +45,9 @@ except ModuleNotFoundError:  # uninstalled checkout: fall back to src/
 
     sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
 
-from repro import Memento, ShardedSketch, generate_trace
+from repro import generate_trace
 from repro.bench import BenchResult, repo_root, write_results
+from repro.engine import SketchSpec, build_engine
 from repro.traffic.synth import BACKBONE
 
 #: shard geometry: heavy per-shard state so worker applies are
@@ -80,8 +81,27 @@ def make_stream(n: int = N) -> list:
     return generate_trace(BACKBONE, n, seed=99).packets_1d()
 
 
-def shard_factory(i: int) -> Memento:
-    return Memento(window=WINDOW, counters=COUNTERS, tau=TAU, seed=1 + i)
+def case_spec(shards: int, pipelined: bool) -> SketchSpec:
+    """The declarative spec of one timed deployment.
+
+    Every timed construction goes through ``build_engine`` on this, and
+    the spec rides in the persisted row's metadata — any row reproduces
+    from its spec alone (per-shard seeds derive from the base seed via
+    the registry's convention).
+    """
+    payload = {
+        "algorithm": {
+            "family": "memento",
+            "window": WINDOW,
+            "counters": COUNTERS,
+            "tau": TAU,
+            "seed": 1,
+        },
+        "sharding": {"shards": shards, "executor": "persistent"},
+    }
+    if pipelined:
+        payload["pipeline"] = {"buffer_size": PIPELINE_BUFFER}
+    return SketchSpec.from_dict(payload)
 
 
 def feed_reports(sharded, stream, batch: int = REPORT) -> None:
@@ -120,12 +140,7 @@ def time_feed(
     repeats: int,
 ) -> float:
     """Best wall-seconds for one full feed pass + the query sync point."""
-    sharded = ShardedSketch(
-        shard_factory,
-        shards=shards,
-        executor="persistent",
-        pipeline=PIPELINE_BUFFER if pipelined else None,
-    )
+    sharded = build_engine(case_spec(shards, pipelined))
     drive = FEEDS[feed]
     probe = stream[0]
     try:
@@ -197,6 +212,9 @@ def run_harness(
                         "report": REPORT,
                         "chunk": CHUNK,
                         "pipeline_buffer": PIPELINE_BUFFER,
+                        "spec": case_spec(
+                            shards, mode == "pipelined"
+                        ).to_dict(),
                     },
                 )
             )

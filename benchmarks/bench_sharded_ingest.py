@@ -38,8 +38,9 @@ except ModuleNotFoundError:  # uninstalled checkout: fall back to src/
 
     sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
 
-from repro import Memento, ShardedSketch, SpaceSaving, generate_trace
+from repro import ShardedSketch, generate_trace
 from repro.bench import BenchResult, bench, repo_root, write_results
+from repro.engine import SketchSpec, algorithm_info, build_engine
 from repro.sharding.executors import SerialExecutor
 from repro.traffic.synth import BACKBONE
 
@@ -51,15 +52,39 @@ SHARD_COUNTS = (1, 2, 4, 8)
 #: 1-shard ShardedSketch must retain this share of the raw batch ops/sec.
 MIN_SINGLE_SHARD_RATIO = 0.9
 
-#: (case name, per-shard sketch factory) — both gated cases of the micro
-#: bench, so the two perf trails stay comparable.
-CASES: List[Tuple[str, Callable[[int], object]]] = [
+#: (case name, algorithm section) — both gated cases of the micro bench,
+#: so the two perf trails stay comparable.  Every timed construction goes
+#: through ``build_engine`` on a declarative spec, and the spec rides in
+#: the persisted row's metadata: any row reproduces from its spec alone.
+CASES: List[Tuple[str, Dict[str, object]]] = [
     (
         "memento_tau0.1",
-        lambda i: Memento(window=WINDOW, counters=512, tau=0.1, seed=1 + i),
+        {
+            "family": "memento",
+            "window": WINDOW,
+            "counters": 512,
+            "tau": 0.1,
+            "seed": 1,
+        },
     ),
-    ("space_saving", lambda i: SpaceSaving(512)),
+    ("space_saving", {"family": "space_saving", "counters": 512}),
 ]
+
+
+def case_spec(name: str, shards: Optional[int] = None) -> SketchSpec:
+    """The declarative spec of one bench case (optionally sharded)."""
+    payload: Dict[str, object] = {"algorithm": dict(dict(CASES)[name])}
+    if shards is not None:
+        payload["sharding"] = {"shards": shards, "executor": "serial"}
+    return SketchSpec.from_dict(payload)
+
+
+def case_factory(name: str) -> Callable[[int], object]:
+    """A per-shard factory with the registry's seed derivation (for the
+    instrumented critical-path pass, which needs a custom executor)."""
+    spec = case_spec(name)
+    info = algorithm_info(spec.algorithm.family)
+    return lambda i: info.factory(spec.algorithm, None, i)
 
 
 class TimingSerialExecutor(SerialExecutor):
@@ -119,21 +144,27 @@ def run_harness(
     results: List[BenchResult] = []
     ratios: Dict[str, float] = {}
     scaling: Dict[str, float] = {}
-    for name, factory in CASES:
+    for name, _ in CASES:
+        bare_spec = case_spec(name)
         raw = bench(
-            lambda: drive_batch(factory(0), stream),
+            lambda: drive_batch(build_engine(bare_spec), stream),
             name=f"{name}/batch",
             ops=n,
             warmup=warmup,
             repeats=repeats,
-            metadata={"path": "batch", "case": name, "chunk": CHUNK},
+            metadata={
+                "path": "batch",
+                "case": name,
+                "chunk": CHUNK,
+                "spec": bare_spec.to_dict(),
+            },
         )
         results.append(raw)
+        factory = case_factory(name)
         for shards in SHARD_COUNTS:
+            spec = case_spec(name, shards=shards)
             sharded = bench(
-                lambda: drive_batch(
-                    ShardedSketch(factory, shards=shards), stream
-                ),
+                lambda: drive_batch(build_engine(spec), stream),
                 name=f"{name}/sharded{shards}",
                 ops=n,
                 warmup=warmup,
@@ -144,6 +175,7 @@ def run_harness(
                     "chunk": CHUNK,
                     "shards": shards,
                     "executor": "serial",
+                    "spec": spec.to_dict(),
                 },
             )
             results.append(sharded)
@@ -238,19 +270,15 @@ def stream():
 
 @pytest.mark.parametrize("shards", SHARD_COUNTS)
 def test_sharded_memento_update_many(benchmark, stream, shards):
-    factory = dict(CASES)["memento_tau0.1"]
-    result = benchmark(
-        lambda: drive_batch(ShardedSketch(factory, shards=shards), stream)
-    )
+    spec = case_spec("memento_tau0.1", shards=shards)
+    result = benchmark(lambda: drive_batch(build_engine(spec), stream))
     assert result.updates == N
 
 
 @pytest.mark.parametrize("shards", SHARD_COUNTS)
 def test_sharded_space_saving_update_many(benchmark, stream, shards):
-    factory = dict(CASES)["space_saving"]
-    result = benchmark(
-        lambda: drive_batch(ShardedSketch(factory, shards=shards), stream)
-    )
+    spec = case_spec("space_saving", shards=shards)
+    result = benchmark(lambda: drive_batch(build_engine(spec), stream))
     assert result.updates == N
 
 

@@ -18,17 +18,34 @@ paper depends on:
 * synthetic traffic (trace profiles, HTTP generator, flood injection) and
   the evaluation metrics used by the paper's figures.
 
+**The front door is the engine facade**: declare a deployment as a
+:class:`SketchSpec` (a frozen, JSON-round-trippable configuration tree —
+algorithm family, window, sharding, pipelining) and
+:func:`build_engine` composes the stack behind one stable surface.
+
 Quickstart::
 
-    from repro import Memento
+    from repro import build_engine
 
-    sketch = Memento(window=100_000, counters=512, tau=1 / 16, seed=1)
-    for packet in stream:
-        sketch.update(packet)
-    heavy = sketch.heavy_hitters(theta=0.01)
+    with build_engine({
+        "algorithm": {"family": "memento", "window": 100_000,
+                      "counters": 512, "tau": 1 / 16, "seed": 1},
+    }) as engine:
+        engine.update_many(stream)          # or engine.update(packet)
+        heavy = engine.heavy_hitters(theta=0.01)
+        top = engine.top_k(10)
 
-See ``examples/`` for end-to-end scenarios and ``benchmarks/`` for the
-per-figure reproduction harness.
+The same spec scales out declaratively — add ``"sharding": {"shards": 8,
+"executor": "persistent"}`` and ``"pipeline": {}`` sections, or load a
+checked-in deployment with ``build_engine("specs/....json")`` — and new
+algorithm families join via :func:`register_algorithm` without touching
+the spec or the facade.  Direct constructors (``Memento(...)`` etc.)
+remain available and are what the registry factories call; engine-built
+state is byte-identical to hand-wired construction under a fixed seed.
+
+See ``examples/`` for end-to-end scenarios (``examples/engine_spec.py``
+walks the spec layer), ``specs/`` for checked-in deployment files, and
+``benchmarks/`` for the per-figure reproduction harness.
 """
 
 from .analysis.change_detection import ChangeEvent, HeavyChangeDetector
@@ -54,9 +71,21 @@ from .analysis.metrics import (
 )
 from .core.api import (
     MergeableSketch,
+    QueryableSketch,
     SlidingSketch,
     WindowedEntries,
     WindowedSketch,
+)
+from .engine import (
+    AlgorithmSpec,
+    HeavyHitterEngine,
+    HierarchySpec,
+    PipelineSpec,
+    ShardingSpec,
+    SketchSpec,
+    build_engine,
+    register_algorithm,
+    registered_algorithms,
 )
 from .core.exact import ExactIntervalCounter, ExactWindowCounter, ExactWindowHHH
 from .core.h_memento import HMemento
@@ -146,8 +175,19 @@ __all__ = [
     # protocols
     "SlidingSketch",
     "MergeableSketch",
+    "QueryableSketch",
     "WindowedSketch",
     "WindowedEntries",
+    # engine facade
+    "HeavyHitterEngine",
+    "build_engine",
+    "SketchSpec",
+    "AlgorithmSpec",
+    "HierarchySpec",
+    "ShardingSpec",
+    "PipelineSpec",
+    "register_algorithm",
+    "registered_algorithms",
     # sharding
     "ShardedSketch",
     "shard_index",

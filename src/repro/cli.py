@@ -12,6 +12,7 @@ Examples
     python -m repro fig4 --worked      # the Section 5.2 worked example
     python -m repro fig5               # Memento vs WCSS grid
     REPRO_SCALE=4 python -m repro fig10
+    python -m repro fig9 --spec specs/netwide_sharded_controller.json
 """
 
 from __future__ import annotations
@@ -87,6 +88,16 @@ def build_parser() -> argparse.ArgumentParser:
                 "bounded buffer and a background thread overlaps "
                 "partitioning with the shard workers' applies",
             )
+        if name in ("fig9", "fig10"):
+            p.add_argument(
+                "--spec",
+                metavar="PATH",
+                default=None,
+                help="JSON SketchSpec declaring the controller's "
+                "execution strategy (sharding/executor/pipeline "
+                "sections); overrides --shards/--executor/--pipeline. "
+                "See specs/*.json for checked-in examples",
+            )
         if name == "fig10":
             p.add_argument(
                 "--timeline",
@@ -109,15 +120,18 @@ def main(argv: Optional[List[str]] = None) -> int:
             shards=args.shards,
             executor=args.executor,
             pipeline=args.pipeline,
+            spec=args.spec,
         )
     elif args.figure == "fig1b":
         rows = module.run(simulate=not args.no_simulate, seed=args.seed)
     elif args.figure == "fig10" and args.timeline:
-        results = module.run_detailed(seed=args.seed)
+        results = module.run_detailed(seed=args.seed, spec=args.spec)
         print(module.format_table(module.summarize(results)))
         print()
         print(module.format_timeline(results))
         return 0
+    elif args.figure == "fig10":
+        rows = module.run(seed=args.seed, spec=args.spec)
     else:
         rows = module.run(seed=args.seed)
     print(module.format_table(rows))

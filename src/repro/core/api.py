@@ -19,6 +19,11 @@ classes.  This module names the contracts:
   ingestion pair used by the D-Memento controller path.  This is the
   capability the sharded ingestion layer keys on: a shard can own a
   subset of the stream while staying aligned with the *global* window.
+* :class:`QueryableSketch` — a mergeable sketch with the uniform
+  reporting surface: ``heavy_hitters(theta)`` (each family's own
+  threshold convention) and ``top_k(k)`` (backed by ``entries()``).
+  This is the contract the :class:`repro.engine.HeavyHitterEngine`
+  facade programs against, so it needs no per-family branches.
 * :class:`WindowedEntries` — a mergeable snapshot annotated with its
   window geometry (window length, frame offset, sampling rate, overflow
   quantum), so merges of Memento-family state can check window
@@ -34,6 +39,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from typing import (
+    Dict,
     Hashable,
     Iterable,
     List,
@@ -47,6 +53,7 @@ __all__ = [
     "Entry",
     "SlidingSketch",
     "MergeableSketch",
+    "QueryableSketch",
     "WindowedSketch",
     "WindowedEntries",
 ]
@@ -90,6 +97,24 @@ class MergeableSketch(SlidingSketch, Protocol):
     """
 
     def entries(self) -> List[Entry]: ...
+
+
+@runtime_checkable
+class QueryableSketch(MergeableSketch, Protocol):
+    """A mergeable sketch with the uniform reporting surface.
+
+    ``heavy_hitters(theta)`` enumerates keys above each family's own
+    threshold convention (``theta · W`` for window sketches, ``theta · N``
+    for interval sketches — the same bar the family's pre-existing
+    threshold method used), and ``top_k(k)`` ranks the tracked keys by
+    snapshot estimate.  Every sketch in the repository conforms, which is
+    what lets the engine facade expose one reporting surface with no
+    per-family branches.
+    """
+
+    def heavy_hitters(self, theta: float) -> Dict[Hashable, float]: ...
+
+    def top_k(self, k: int) -> List[Tuple[Hashable, float]]: ...
 
 
 @runtime_checkable

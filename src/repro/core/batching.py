@@ -58,7 +58,10 @@ class BatchIngest:
       :class:`repro.core.api.SlidingSketch` the moment it has ``update``;
     * ``extend`` — chunked feeding of arbitrary iterables through
       ``update_many``, the bookkeeping previously re-implemented in
-      every sketch class.
+      every sketch class;
+    * ``top_k`` — the generic ranked-report half of
+      :class:`repro.core.api.QueryableSketch`, backed by ``entries()``
+      and the sketch's own ``query`` units.
 
     ``__slots__`` is empty so slotted sketches keep their layout.
     """
@@ -70,6 +73,24 @@ class BatchIngest:
         update = self.update
         for item in as_batch(items):
             update(item)
+
+    def top_k(self, k: int) -> List[tuple]:
+        """The ``k`` largest tracked keys as ``(key, estimate)`` pairs.
+
+        Ranking uses the mergeable snapshot's native-unit estimates
+        (scaling by a constant ``1/tau`` never reorders), while the
+        returned estimates come from ``query`` so they are in the same
+        units every other query-surface method reports.  Hierarchical
+        sketches rank across *all* patterns — a packet key and its
+        prefixes compete in one list.
+        """
+        if k <= 0:
+            raise ValueError(f"k must be positive, got {k}")
+        ranked = sorted(
+            self.entries(), key=lambda row: row[1], reverse=True
+        )[:k]
+        query = self.query
+        return [(key, query(key)) for key, _, _ in ranked]
 
     def extend(self, iterable: Iterable, chunk_size: int = 4096) -> None:
         """Feed an arbitrary iterable through ``update_many`` in chunks."""

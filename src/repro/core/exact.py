@@ -267,6 +267,10 @@ class ExactIntervalCounter(BatchIngest):
         bar = theta * self.interval
         return {k: v for k, v in self._counts.items() if v > bar}
 
+    def entries(self) -> List[Entry]:
+        """Exact snapshot of the running interval (estimate == guaranteed)."""
+        return [(key, count, count) for key, count in self._counts.items()]
+
     def heavy_hitters_last(self, theta: float) -> Dict[Hashable, int]:
         """Plain-interval HH computed over the last completed interval."""
         bar = theta * self.interval
@@ -323,6 +327,21 @@ class ExactWindowHHH(BatchIngest):
         out: Dict[Hashable, int] = {}
         for counter in self._counters:
             out.update(counter.heavy_hitters(theta))
+        return out
+
+    def heavy_hitters(self, theta: float) -> Dict[Hashable, int]:
+        """Uniform :class:`~repro.core.api.QueryableSketch` surface:
+        same enumeration as :meth:`heavy_prefixes` (keys are prefixes)."""
+        return self.heavy_prefixes(theta)
+
+    def entries(self) -> List[Entry]:
+        """Flat exact snapshot across all pattern counters.
+
+        Prefixes are unique to their pattern, so concatenation loses
+        nothing; counts are exact, hence estimate == guaranteed."""
+        out: List[Entry] = []
+        for counter in self._counters:
+            out.extend(counter.entries())
         return out
 
     def counters(self) -> Iterable[ExactWindowCounter]:

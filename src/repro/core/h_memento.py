@@ -341,6 +341,11 @@ class HMemento(BatchIngest):
                 out[prefix] = est
         return out
 
+    def heavy_hitters(self, theta: float) -> Dict[Hashable, float]:
+        """Uniform :class:`~repro.core.api.QueryableSketch` surface:
+        same enumeration as :meth:`heavy_prefixes` (keys are prefixes)."""
+        return self.heavy_prefixes(theta)
+
     # ------------------------------------------------------------------
     # introspection
     # ------------------------------------------------------------------

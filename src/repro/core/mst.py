@@ -150,6 +150,11 @@ class MST(BatchIngest):
             if (est := self.query(p)) > bar
         }
 
+    def heavy_hitters(self, theta: float) -> Dict[Hashable, float]:
+        """Uniform :class:`~repro.core.api.QueryableSketch` surface:
+        same enumeration as :meth:`heavy_prefixes` (keys are prefixes)."""
+        return self.heavy_prefixes(theta)
+
     def reset(self) -> None:
         """Start a new measurement interval (flush every instance)."""
         for instance in self._instances:
@@ -264,6 +269,11 @@ class WindowBaseline(BatchIngest):
             for p in self.candidates()
             if (est := self.query(p)) > bar
         }
+
+    def heavy_hitters(self, theta: float) -> Dict[Hashable, float]:
+        """Uniform :class:`~repro.core.api.QueryableSketch` surface:
+        same enumeration as :meth:`heavy_prefixes` (keys are prefixes)."""
+        return self.heavy_prefixes(theta)
 
     @property
     def packets(self) -> int:

@@ -234,6 +234,11 @@ class RHHH(BatchIngest):
             if (est := self.query(p)) > bar
         }
 
+    def heavy_hitters(self, theta: float) -> Dict[Hashable, float]:
+        """Uniform :class:`~repro.core.api.QueryableSketch` surface:
+        same enumeration as :meth:`heavy_prefixes` (keys are prefixes)."""
+        return self.heavy_prefixes(theta)
+
     def reset(self) -> None:
         """Start a new measurement interval."""
         for instance in self._instances:

@@ -1,0 +1,324 @@
+"""The algorithm registry: declared factories and capability sets.
+
+Before this layer, capability decisions were duck-typed at runtime —
+``ShardedSketch`` sniffed ``hasattr(first, "ingest_gap")`` after building
+every shard, and the controllers probed for ``output`` / ``heavy_prefixes``
+per call.  The registry replaces that with **declared** capability sets,
+keyed on the protocols in :mod:`repro.core.api`:
+
+========== =============================================== ==============
+capability protocol                                        means
+========== =============================================== ==============
+sliding    :class:`~repro.core.api.SlidingSketch`          update/query
+mergeable  :class:`~repro.core.api.MergeableSketch`        ``entries()``
+queryable  :class:`~repro.core.api.QueryableSketch`        HH/top-k report
+windowed   :class:`~repro.core.api.WindowedSketch`         ``ingest_gap``
+hierarchical (no protocol — a flag)                        prefix queries
+========== =============================================== ==============
+
+``tests/engine/test_registry.py`` pins the declarations to reality: every
+built algorithm must satisfy exactly the protocols its entry declares.
+
+Third-party algorithms join the same way the built-ins do::
+
+    register_algorithm(
+        "my_sketch",
+        lambda spec, hierarchy, shard_id: MySketch(spec.window),
+        capabilities={"sliding", "mergeable", "queryable"},
+        needs_window=True,
+        counter_mode="none",
+    )
+
+after which ``SketchSpec(algorithm=AlgorithmSpec(family="my_sketch",
+window=...))`` validates, serializes, and builds like any other family.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, FrozenSet, Optional, Tuple
+
+from ..core.api import (
+    MergeableSketch,
+    QueryableSketch,
+    SlidingSketch,
+    WindowedSketch,
+)
+from ..core.exact import ExactWindowCounter
+from ..core.h_memento import HMemento
+from ..core.memento import Memento
+from ..core.mst import MST, WindowBaseline
+from ..core.rhhh import RHHH
+from ..core.space_saving import SpaceSaving
+from ..hierarchy.domain import Hierarchy
+
+__all__ = [
+    "AlgorithmInfo",
+    "CAPABILITY_PROTOCOLS",
+    "KNOWN_CAPABILITIES",
+    "algorithm_info",
+    "register_algorithm",
+    "registered_algorithms",
+    "shard_seed",
+]
+
+#: Capability name -> the runtime-checkable protocol it stands for
+#: (``hierarchical`` is a flag with no structural protocol).
+CAPABILITY_PROTOCOLS = {
+    "sliding": SlidingSketch,
+    "mergeable": MergeableSketch,
+    "queryable": QueryableSketch,
+    "windowed": WindowedSketch,
+}
+
+KNOWN_CAPABILITIES = frozenset((*CAPABILITY_PROTOCOLS, "hierarchical"))
+
+#: Seed salt between shards — the network-wide controller's convention,
+#: kept so engine-built ensembles are byte-identical to the hand-wired
+#: deployments that predate the registry.
+SHARD_SEED_STRIDE = 7919
+
+
+def shard_seed(seed: Optional[int], shard_id: Optional[int]) -> Optional[int]:
+    """Per-shard seed derivation: ``seed + 7919 · shard_id``.
+
+    ``shard_id=None`` (a bare, unsharded build) and shard 0 both receive
+    the base seed unchanged, so an unsharded sketch and shard 0 of a
+    sharded ensemble replay identical randomness.
+    """
+    if seed is None or shard_id is None:
+        return seed
+    return seed + SHARD_SEED_STRIDE * shard_id
+
+
+@dataclass(frozen=True)
+class AlgorithmInfo:
+    """One registry entry: how to build a family and what it can do.
+
+    ``factory(algorithm_spec, hierarchy, shard_id)`` returns a fresh
+    sketch; ``hierarchy`` is the resolved :class:`Hierarchy` object (or
+    ``None``), ``shard_id`` is ``None`` for a bare build and the shard
+    index for ensemble builds (factories derive per-shard seeds through
+    :func:`shard_seed`).
+
+    ``needs_window`` / ``needs_hierarchy`` / ``counter_mode`` drive
+    parse-time spec validation; ``counter_mode`` is ``"exactly_one"``
+    (counters XOR epsilon), ``"counters_only"``, or ``"none"``.
+    """
+
+    name: str
+    factory: Callable[[object, Optional[Hierarchy], Optional[int]], object]
+    capabilities: FrozenSet[str]
+    needs_window: bool = False
+    needs_hierarchy: bool = False
+    counter_mode: str = "exactly_one"
+
+    @property
+    def windowed(self) -> bool:
+        """Whether instances advance a window (``ingest_gap``)."""
+        return "windowed" in self.capabilities
+
+    @property
+    def hierarchical(self) -> bool:
+        """Whether instances answer prefix queries over a hierarchy."""
+        return "hierarchical" in self.capabilities
+
+    def validate_spec(self, spec) -> None:
+        """Parse-time validation of a :class:`SketchSpec` for this family."""
+        algo = spec.algorithm
+        name = self.name
+        if self.needs_window and algo.window is None:
+            raise ValueError(f"{name} requires algorithm.window")
+        if not self.needs_window and algo.window is not None:
+            raise ValueError(
+                f"{name} has no window; remove algorithm.window"
+            )
+        if self.counter_mode == "exactly_one":
+            if (algo.counters is None) == (algo.epsilon is None):
+                raise ValueError(
+                    f"{name} requires exactly one of algorithm.counters / "
+                    f"algorithm.epsilon"
+                )
+        elif self.counter_mode == "counters_only":
+            if algo.counters is None:
+                raise ValueError(f"{name} requires algorithm.counters")
+            if algo.epsilon is not None:
+                raise ValueError(f"{name} takes no algorithm.epsilon")
+        else:  # "none"
+            if algo.counters is not None or algo.epsilon is not None:
+                raise ValueError(
+                    f"{name} is exact; remove algorithm.counters/epsilon"
+                )
+        if self.needs_hierarchy and spec.hierarchy is None:
+            raise ValueError(f"{name} requires a hierarchy section")
+        if not self.hierarchical and spec.hierarchy is not None:
+            raise ValueError(
+                f"{name} is not hierarchical; remove the hierarchy section"
+            )
+
+
+_REGISTRY: Dict[str, AlgorithmInfo] = {}
+
+
+def register_algorithm(
+    name: str,
+    factory: Callable[[object, Optional[Hierarchy], Optional[int]], object],
+    capabilities,
+    *,
+    needs_window: bool = False,
+    needs_hierarchy: bool = False,
+    counter_mode: str = "exactly_one",
+    replace: bool = False,
+) -> AlgorithmInfo:
+    """Register an algorithm family under ``name``.
+
+    ``capabilities`` is any iterable of capability names (must include
+    ``"sliding"`` — everything the engine hosts streams).  Registering an
+    existing name raises unless ``replace=True``.  Returns the stored
+    :class:`AlgorithmInfo`.
+    """
+    caps = frozenset(capabilities)
+    unknown = sorted(caps - KNOWN_CAPABILITIES)
+    if unknown:
+        raise ValueError(
+            f"unknown capability(ies) {unknown}; expected a subset of "
+            f"{sorted(KNOWN_CAPABILITIES)}"
+        )
+    if "sliding" not in caps:
+        raise ValueError("every algorithm must declare the 'sliding' capability")
+    if counter_mode not in ("exactly_one", "counters_only", "none"):
+        raise ValueError(f"unknown counter_mode {counter_mode!r}")
+    if name in _REGISTRY and not replace:
+        raise ValueError(
+            f"algorithm {name!r} is already registered; pass replace=True "
+            f"to override"
+        )
+    info = AlgorithmInfo(
+        name=name,
+        factory=factory,
+        capabilities=caps,
+        needs_window=needs_window,
+        needs_hierarchy="hierarchical" in caps and needs_hierarchy,
+        counter_mode=counter_mode,
+    )
+    _REGISTRY[name] = info
+    return info
+
+
+def algorithm_info(name: str) -> AlgorithmInfo:
+    """The registry entry for ``name`` (ValueError listing known names)."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown algorithm family {name!r}; registered families: "
+            f"{registered_algorithms()}"
+        ) from None
+
+
+def registered_algorithms() -> Tuple[str, ...]:
+    """The registered family names, sorted."""
+    return tuple(sorted(_REGISTRY))
+
+
+# ----------------------------------------------------------------------
+# built-in families
+# ----------------------------------------------------------------------
+def _build_memento(spec, hierarchy, shard_id):
+    return Memento(
+        window=spec.window,
+        counters=spec.counters,
+        epsilon=spec.epsilon,
+        tau=spec.tau,
+        sampler=spec.sampler,
+        seed=shard_seed(spec.seed, shard_id),
+    )
+
+
+def _build_h_memento(spec, hierarchy, shard_id):
+    return HMemento(
+        window=spec.window,
+        hierarchy=hierarchy,
+        counters=spec.counters,
+        epsilon=spec.epsilon,
+        tau=spec.tau,
+        delta=spec.delta,
+        sampler=spec.sampler,
+        seed=shard_seed(spec.seed, shard_id),
+    )
+
+
+def _build_space_saving(spec, hierarchy, shard_id):
+    return SpaceSaving(spec.counters)
+
+
+def _build_mst(spec, hierarchy, shard_id):
+    return MST(hierarchy, counters=spec.counters, epsilon=spec.epsilon)
+
+
+def _build_window_baseline(spec, hierarchy, shard_id):
+    return WindowBaseline(
+        hierarchy, spec.window, counters=spec.counters, epsilon=spec.epsilon
+    )
+
+
+def _build_rhhh(spec, hierarchy, shard_id):
+    return RHHH(
+        hierarchy,
+        counters=spec.counters,
+        epsilon=spec.epsilon,
+        sampling_ratio=spec.sampling_ratio,
+        delta=spec.delta,
+        seed=shard_seed(spec.seed, shard_id),
+    )
+
+
+def _build_exact(spec, hierarchy, shard_id):
+    return ExactWindowCounter(spec.window)
+
+
+register_algorithm(
+    "memento",
+    _build_memento,
+    {"sliding", "mergeable", "queryable", "windowed"},
+    needs_window=True,
+)
+register_algorithm(
+    "h_memento",
+    _build_h_memento,
+    {"sliding", "mergeable", "queryable", "windowed", "hierarchical"},
+    needs_window=True,
+    needs_hierarchy=True,
+)
+register_algorithm(
+    "space_saving",
+    _build_space_saving,
+    {"sliding", "mergeable", "queryable"},
+    counter_mode="counters_only",
+)
+register_algorithm(
+    "mst",
+    _build_mst,
+    {"sliding", "mergeable", "queryable", "hierarchical"},
+    needs_hierarchy=True,
+)
+register_algorithm(
+    "window_baseline",
+    _build_window_baseline,
+    {"sliding", "mergeable", "queryable", "hierarchical"},
+    needs_window=True,
+    needs_hierarchy=True,
+)
+register_algorithm(
+    "rhhh",
+    _build_rhhh,
+    {"sliding", "mergeable", "queryable", "hierarchical"},
+    needs_hierarchy=True,
+)
+register_algorithm(
+    "exact",
+    _build_exact,
+    {"sliding", "mergeable", "queryable", "windowed"},
+    needs_window=True,
+    counter_mode="none",
+)

@@ -21,11 +21,13 @@ detection phase is what dilutes the misses (see EXPERIMENTS.md).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from ..core.exact import ExactWindowCounter
+from ..engine.spec import SketchSpec
 from ..hierarchy.domain import SRC_HIERARCHY
 from ..hierarchy.prefix import MASKS
 from ..netwide.simulation import NetwideConfig, NetwideSystem
@@ -90,6 +92,7 @@ def _run_method(
     aggregate_entries: int,
     check_every: int,
     seed: int,
+    spec: Optional[SketchSpec] = None,
 ) -> FloodRunResult:
     """Replay the flood through one deployment and record detections."""
     subnets = flood.subnet_set()
@@ -131,6 +134,7 @@ def _run_method(
         hierarchy=SRC_HIERARCHY,
         seed=seed,
         aggregate_max_entries=aggregate_entries,
+        spec=spec if method != "aggregate" else None,
     )
     # context-managed: the system owns its controller's executor workers
     with NetwideSystem(config) as system:
@@ -167,6 +171,7 @@ def run_detailed(
     aggregate_entries: int = 2000,
     check_every: int = 500,
     seed: int = 2018,
+    spec: Union[SketchSpec, str, Path, None] = None,
 ) -> List[FloodRunResult]:
     """Run the flood for OPT plus each method; full per-method results.
 
@@ -174,7 +179,17 @@ def run_detailed(
     resolution stays well below ``theta * window`` for the Batch transport
     (the Sample transport is budget-starved by header overhead and stays
     noisy — which is its expected behaviour in the paper too).
+
+    ``spec`` (a :class:`repro.engine.SketchSpec`, dict, or JSON spec file
+    path) declares the Sample/Batch controllers' execution strategy —
+    sharding, executor, pipelining — exactly as in ``fig9``; its
+    algorithm section is resolved against this experiment's
+    window/counters/budget by the system.
     """
+    if isinstance(spec, (str, Path)):
+        spec = SketchSpec.from_file(spec)
+    elif isinstance(spec, dict):
+        spec = SketchSpec.from_dict(spec)
     window = window if window is not None else scaled(100_000)
     base_length = base_length if base_length is not None else scaled(120_000)
     counters = counters if counters is not None else max(1024, window // 8)
@@ -206,6 +221,7 @@ def run_detailed(
                 aggregate_entries,
                 check_every,
                 seed,
+                spec,
             )
         )
     return results

@@ -15,17 +15,23 @@ pipeline under an HTTP flood and measures detection latency (see
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import warnings
+from dataclasses import dataclass, replace
 from typing import Callable, Dict, Hashable, Optional, Sequence
 
 import numpy as np
 
 from ..analysis.metrics import RunningRMSE
 from ..core.exact import ExactWindowCounter
-from ..core.h_memento import HMemento
-from ..core.memento import Memento
+from ..engine.facade import build_engine
+from ..engine.spec import (
+    AlgorithmSpec,
+    ShardingSpec,
+    SketchSpec,
+    hierarchy_spec_for,
+    pipeline_spec_for,
+)
 from ..hierarchy.domain import Hierarchy
-from ..sharding import ShardedSketch
 from .budget import BudgetModel
 from .controller import AggregationController, SketchController
 from .measurement_point import AggregatingPoint, SamplingPoint
@@ -42,6 +48,17 @@ class NetwideConfig:
     ``method`` selects the communication scheme; ``batch_size=None`` asks
     the Theorem 5.5 optimizer for the best batch under the byte budget.
     ``hierarchy`` switches the controller from D-Memento to D-H-Memento.
+
+    ``spec`` declares the controller's execution strategy (sharding /
+    executor / pipeline sections of a :class:`repro.engine.SketchSpec`);
+    its algorithm section serves as a template whose family, window,
+    counters, tau, seed, and delta are **resolved** by
+    :class:`NetwideSystem` from this config and the budget model (the
+    transport sampling rate is a Theorem 5.5 output, not a spec input).
+    The legacy ``shards`` / ``shard_executor`` / ``shard_pipeline``
+    fields are deprecation shims that synthesize a spec; when ``spec``
+    is given they are back-filled *from* it so introspection stays
+    coherent.
     """
 
     points: int = 10
@@ -58,17 +75,18 @@ class NetwideConfig:
     #: Entry cap for aggregation reports ("all the entries of its HH
     #: algorithm"); defaults to ``counters`` when None.
     aggregate_max_entries: Optional[int] = None
-    #: Controller-side ingestion shards (1 = the single-sketch path).
-    #: ``counters`` is split across shards so total state stays constant.
+    #: DEPRECATED (use ``spec``): controller-side ingestion shards
+    #: (1 = the single-sketch path).  ``counters`` is split across
+    #: shards so total state stays constant.
     shards: int = 1
-    #: Executor for the sharded controller: serial / thread / process /
-    #: persistent (resident shard workers, no per-batch state round-trip).
+    #: DEPRECATED (use ``spec``): executor for the sharded controller:
+    #: serial / thread / process / persistent.
     shard_executor: str = "serial"
-    #: Pipelined ingestion front-end for the sharded controller:
-    #: ``False`` (synchronous, the default), ``True`` (default knobs) or
-    #: a buffer size — report-scale writes coalesce and a background
-    #: thread overlaps partitioning with the shard workers' applies.
+    #: DEPRECATED (use ``spec``): pipelined ingestion front-end for the
+    #: sharded controller — ``False``, ``True``, or a buffer size.
     shard_pipeline: object = False
+    #: The controller's declarative execution spec (see class docstring).
+    spec: Optional[SketchSpec] = None
 
     def __post_init__(self) -> None:
         if self.method not in METHODS:
@@ -79,6 +97,71 @@ class NetwideConfig:
             raise ValueError(f"points must be positive, got {self.points}")
         if self.shards <= 0:
             raise ValueError(f"shards must be positive, got {self.shards}")
+        legacy_given = (
+            self.shards > 1
+            or self.shard_executor != "serial"
+            or self.shard_pipeline not in (False, None)
+        )
+        if self.spec is not None:
+            if legacy_given:
+                raise ValueError(
+                    "pass either spec= or the legacy shards/shard_executor/"
+                    "shard_pipeline knobs, not both — mixing them would "
+                    "silently discard one side"
+                )
+            # the spec is authoritative; back-fill the legacy fields so
+            # code (and result rows) reading config.shards stay coherent
+            sharding = self.spec.sharding
+            object.__setattr__(
+                self, "shards", sharding.shards if sharding else 1
+            )
+            object.__setattr__(
+                self,
+                "shard_executor",
+                sharding.executor if sharding else "serial",
+            )
+            object.__setattr__(
+                self, "shard_pipeline", self.spec.pipeline is not None
+            )
+            return
+        if legacy_given:
+            warnings.warn(
+                "NetwideConfig(shards=/shard_executor=/shard_pipeline=) is "
+                "deprecated; pass spec=SketchSpec(..., sharding=..., "
+                "pipeline=...) instead",
+                DeprecationWarning,
+                stacklevel=3,
+            )
+        object.__setattr__(self, "spec", self._synthesize_spec())
+
+    def _synthesize_spec(self) -> SketchSpec:
+        """A spec equivalent to the legacy shard knobs.
+
+        Mirrors the historical wiring exactly: the sharding and pipeline
+        sections appear only when ``shards > 1`` (a 1-shard config always
+        built the plain sketch, silently ignoring executor/pipeline), and
+        the algorithm template carries the config's window/counters/seed
+        with tau left for the budget-model resolution.
+        """
+        sharded = self.shards > 1
+        return SketchSpec(
+            algorithm=AlgorithmSpec(
+                family="h_memento" if self.hierarchy is not None else "memento",
+                window=self.window,
+                counters=self.counters,
+                seed=self.seed,
+                delta=self.delta,
+            ),
+            hierarchy=hierarchy_spec_for(self.hierarchy),
+            sharding=(
+                ShardingSpec(shards=self.shards, executor=self.shard_executor)
+                if sharded
+                else None
+            ),
+            pipeline=(
+                pipeline_spec_for(self.shard_pipeline) if sharded else None
+            ),
+        )
 
 
 class NetwideSystem:
@@ -123,6 +206,9 @@ class NetwideSystem:
             )
             self.batch_size = 0
             self.tau = 1.0
+            # the aggregation controller retains exact deltas; there is
+            # no sketch to describe declaratively
+            self.resolved_spec = None
             return
 
         batch = 1 if config.method == "sample" else (
@@ -144,66 +230,52 @@ class NetwideSystem:
             )
             for i in range(config.points)
         ]
-        tau = min(1.0, self.tau)
-        if config.shards > 1:
-            # split the counter budget so total controller state matches
-            # the single-sketch deployment
-            per_shard = max(1, config.counters // config.shards)
-            if config.hierarchy is not None:
+        #: the fully-resolved controller spec: the config template with
+        #: family/window/counters/tau/seed/delta pinned.  Recording this
+        #: next to a result row makes the controller reproducible from
+        #: the spec alone (``build_engine(spec)``).
+        self.resolved_spec = self._resolve_controller_spec(
+            config, min(1.0, self.tau)
+        )
+        self.controller = SketchController(
+            build_engine(self.resolved_spec, hierarchy=config.hierarchy)
+        )
 
-                def factory(i: int) -> HMemento:
-                    return HMemento(
-                        window=config.window,
-                        hierarchy=config.hierarchy,
-                        counters=per_shard,
-                        tau=tau,
-                        delta=config.delta,
-                        seed=None if seed is None else seed + 7919 * i,
-                    )
+    @staticmethod
+    def _resolve_controller_spec(
+        config: NetwideConfig, tau: float
+    ) -> SketchSpec:
+        """Pin the algorithm section of the config's spec template.
 
-                # packets route by key, queries aggregate by prefix —
-                # a prefix's traffic spans shards, so estimates sum
-                algorithm = ShardedSketch(
-                    factory,
-                    shards=config.shards,
-                    executor=config.shard_executor,
-                    query_mode="sum",
-                    pipeline=config.shard_pipeline,
-                )
-            else:
-
-                def factory(i: int) -> Memento:
-                    return Memento(
-                        window=config.window,
-                        counters=per_shard,
-                        tau=tau,
-                        seed=None if seed is None else seed + 7919 * i,
-                    )
-
-                algorithm = ShardedSketch(
-                    factory,
-                    shards=config.shards,
-                    executor=config.shard_executor,
-                    query_mode="route",
-                    pipeline=config.shard_pipeline,
-                )
-        elif config.hierarchy is not None:
-            algorithm = HMemento(
-                window=config.window,
-                hierarchy=config.hierarchy,
-                counters=config.counters,
-                tau=tau,
-                delta=config.delta,
-                seed=seed,
-            )
-        else:
-            algorithm = Memento(
-                window=config.window,
-                counters=config.counters,
-                tau=tau,
-                seed=seed,
-            )
-        self.controller = SketchController(algorithm)
+        The family follows the deployment mode (D-Memento or
+        D-H-Memento), the counter budget is split across shards so total
+        controller state matches the single-sketch deployment, and
+        ``tau`` is the budget model's transport sampling rate.  The
+        spec's sharding/pipeline sections and the sampler choice pass
+        through untouched.
+        """
+        spec = config.spec
+        shards = spec.sharding.shards if spec.sharding is not None else 1
+        counters = (
+            config.counters
+            if shards == 1
+            else max(1, config.counters // shards)
+        )
+        algorithm = replace(
+            spec.algorithm,
+            family="h_memento" if config.hierarchy is not None else "memento",
+            window=config.window,
+            counters=counters,
+            epsilon=None,
+            tau=tau,
+            seed=config.seed,
+            delta=config.delta,
+        )
+        return replace(
+            spec,
+            algorithm=algorithm,
+            hierarchy=hierarchy_spec_for(config.hierarchy),
+        )
 
     # ------------------------------------------------------------------
     def offer(self, point_index: int, packet: Hashable) -> bool:
@@ -409,4 +481,8 @@ def run_error_experiment(
             "batch_size": float(system.batch_size),
             "shards": float(config.shards),
         }
+        if system.resolved_spec is not None:
+            # the row is reproducible from this alone: build_engine(spec)
+            # is the controller, byte-identical under the recorded seed
+            summary["spec"] = system.resolved_spec.to_dict()
     return summary

@@ -84,7 +84,10 @@ def make_pipeline_config(spec: object) -> Optional[PipelineConfig]:
 
     ``None``/``False`` disable the front-end (the synchronous default);
     ``True`` enables it with default knobs; an ``int`` is a
-    ``buffer_size``; a ready :class:`PipelineConfig` passes through.
+    ``buffer_size``; a ready :class:`PipelineConfig` passes through; an
+    object with ``to_config()`` (the engine layer's serializable
+    ``PipelineSpec``) resolves through it — duck-typed so this module
+    stays import-independent of :mod:`repro.engine`.
     """
     if spec is None or spec is False:
         return None
@@ -94,9 +97,15 @@ def make_pipeline_config(spec: object) -> Optional[PipelineConfig]:
         return spec
     if isinstance(spec, int):
         return PipelineConfig(buffer_size=spec)
+    to_config = getattr(spec, "to_config", None)
+    if to_config is not None:
+        config = to_config()
+        if isinstance(config, PipelineConfig):
+            return config
     raise TypeError(
-        f"pipeline must be None/False, True, a buffer size, or a "
-        f"PipelineConfig, got {spec!r}"
+        f"pipeline must be None/False, True, a buffer size, a "
+        f"PipelineConfig, or expose to_config() -> PipelineConfig, "
+        f"got {spec!r}"
     )
 
 

@@ -165,6 +165,13 @@ class ShardedSketch(BatchIngest):
     merge_counters:
         Counter budget of merged snapshots (default: every merged row is
         kept — the union is exact for disjoint shards).
+    windowed:
+        Declares whether the shards are window-advancing
+        (:class:`~repro.core.api.WindowedSketch`) sketches.  ``None``
+        (default) sniffs the first shard for ``ingest_gap`` — the
+        historical behaviour; the engine registry passes the declared
+        capability explicitly instead.  Declaring ``True`` for shards
+        without ``ingest_gap`` fails fast.
     pipeline:
         ``None``/``False`` (default) keeps ingestion synchronous.
         ``True``, a buffer size, or a
@@ -193,7 +200,11 @@ class ShardedSketch(BatchIngest):
         query_mode: str = "route",
         merge_counters: Optional[int] = None,
         pipeline: object = None,
+        windowed: Optional[bool] = None,
     ) -> None:
+        # every knob validates BEFORE the factory runs: a bad executor or
+        # pipeline spec must not first construct (and, for stateful
+        # executors, potentially leak) S shard sketches
         if shards <= 0:
             raise ValueError(f"shards must be positive, got {shards}")
         if query_mode not in QUERY_MODES:
@@ -204,6 +215,11 @@ class ShardedSketch(BatchIngest):
             raise ValueError(
                 f"merge_counters must be positive, got {merge_counters}"
             )
+        #: pipelined front-end (None = synchronous): a coalescing write
+        #: buffer plus a lazily-started background dispatcher thread;
+        #: every query path drains both through ``flush``
+        self._pipeline_config = make_pipeline_config(pipeline)
+        self._executor = make_executor(executor)
         self.num_shards = int(shards)
         self.query_mode = query_mode
         self.merge_counters = merge_counters
@@ -211,17 +227,22 @@ class ShardedSketch(BatchIngest):
         self._shards: List = [factory(i) for i in range(self.num_shards)]
         first = self._shards[0]
         #: shards that can advance their window without inserting get the
-        #: global-window-aligned ingestion; interval sketches get substreams
-        self.windowed = hasattr(first, "ingest_gap")
-        self._executor = make_executor(executor)
+        #: global-window-aligned ingestion; interval sketches get substreams.
+        #: The capability is either declared (engine registry) or sniffed.
+        has_gap = hasattr(first, "ingest_gap")
+        if windowed is None:
+            self.windowed = has_gap
+        else:
+            if windowed and not has_gap:
+                raise TypeError(
+                    f"shards declared windowed but {type(first).__name__} "
+                    f"has no ingest_gap"
+                )
+            self.windowed = bool(windowed)
         #: a stateful executor keeps shard state resident in its workers:
         #: ingestion ships only plans, and ``_sync_shards`` pulls state
         #: back lazily at the first query after a batch
         self._stateful = bool(getattr(self._executor, "stateful", False))
-        #: pipelined front-end (None = synchronous): a coalescing write
-        #: buffer plus a lazily-started background dispatcher thread;
-        #: every query path drains both through ``flush``
-        self._pipeline_config = make_pipeline_config(pipeline)
         self._buffer = (
             WriteBuffer(self._pipeline_config.buffer_size)
             if self._pipeline_config is not None

@@ -15,6 +15,7 @@ from repro import (
     HMemento,
     Memento,
     MergeableSketch,
+    QueryableSketch,
     ShardedSketch,
     SlidingSketch,
     SpaceSaving,
@@ -58,10 +59,6 @@ class TestMergeableSketchProtocol:
         "sketch", _all_sketches(), ids=lambda s: type(s).__name__
     )
     def test_conforms(self, sketch):
-        if isinstance(sketch, ExactIntervalCounter) or isinstance(
-            sketch, ExactWindowHHH
-        ):
-            pytest.skip("interval/lattice oracles do not snapshot flat entries")
         assert isinstance(sketch, MergeableSketch)
 
     def test_entries_rows_are_bounds(self):
@@ -72,6 +69,44 @@ class TestMergeableSketchProtocol:
             assert low <= est
             assert est == sketch.query_raw(key)
             assert low == sketch.query_lower_raw(key)
+
+
+class TestQueryableSketchProtocol:
+    """The uniform reporting surface: heavy_hitters + top_k everywhere."""
+
+    @pytest.mark.parametrize(
+        "sketch", _all_sketches(), ids=lambda s: type(s).__name__
+    )
+    def test_conforms(self, sketch):
+        assert isinstance(sketch, QueryableSketch)
+
+    @pytest.mark.parametrize(
+        "sketch", _all_sketches(), ids=lambda s: type(s).__name__
+    )
+    def test_top_k_ranked_and_in_query_units(self, sketch):
+        stream = [i % 7 for i in range(120)] + [0] * 40
+        sketch.update_many(stream)
+        top = sketch.top_k(3)
+        assert 0 < len(top) <= 3
+        estimates = [est for _, est in top]
+        assert estimates == sorted(estimates, reverse=True)
+        for key, est in top:
+            assert est == sketch.query(key)
+        with pytest.raises(ValueError):
+            sketch.top_k(0)
+
+    @pytest.mark.parametrize(
+        "sketch", _all_sketches(), ids=lambda s: type(s).__name__
+    )
+    def test_heavy_hitters_returns_mapping(self, sketch):
+        sketch.update_many([1] * 60 + [2] * 10)
+        heavy = sketch.heavy_hitters(0.5)
+        assert isinstance(heavy, dict)
+
+    def test_top_k_truncates_to_population(self):
+        ss = SpaceSaving(8)
+        ss.update_many(["a", "a", "b"])
+        assert ss.top_k(10) == [("a", 2), ("b", 1)]
 
 
 class TestWindowedSketchProtocol:

@@ -1,0 +1,249 @@
+"""NetwideConfig spec field: shim equivalence and engine-built controllers."""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro import (
+    HMemento,
+    Memento,
+    SRC_HIERARCHY,
+    NetwideConfig,
+    NetwideSystem,
+    ShardedSketch,
+    generate_trace,
+    run_error_experiment,
+)
+from repro.engine import (
+    AlgorithmSpec,
+    HierarchySpec,
+    PipelineSpec,
+    ShardingSpec,
+    SketchSpec,
+    build_engine,
+)
+from repro.traffic.synth import DATACENTER
+
+
+@pytest.fixture(scope="module")
+def stream():
+    return generate_trace(DATACENTER, 9000, seed=17).packets_1d()
+
+
+def controller_state(system) -> bytes:
+    algorithm = system.controller.algorithm
+    sketch = algorithm.sketch
+    if isinstance(sketch, ShardedSketch):
+        return pickle.dumps([pickle.dumps(s) for s in sketch.shards])
+    return pickle.dumps(sketch)
+
+
+def drive(system, stream) -> None:
+    for t, packet in enumerate(stream):
+        system.offer(t % system.config.points, packet)
+
+
+def spec_template(shards=None, executor="serial", pipeline=None):
+    return SketchSpec(
+        algorithm=AlgorithmSpec(
+            family="memento", window=2000, counters=128, seed=13
+        ),
+        sharding=(
+            ShardingSpec(shards=shards, executor=executor)
+            if shards is not None
+            else None
+        ),
+        pipeline=pipeline,
+    )
+
+
+class TestDeprecationShims:
+    def test_legacy_knobs_warn(self):
+        with pytest.warns(DeprecationWarning, match="deprecated"):
+            NetwideConfig(window=2000, shards=2)
+        with pytest.warns(DeprecationWarning):
+            NetwideConfig(window=2000, shard_executor="thread")
+        with pytest.warns(DeprecationWarning):
+            NetwideConfig(window=2000, shard_pipeline=True)
+
+    def test_defaults_do_not_warn(self, recwarn):
+        NetwideConfig(window=2000)
+        assert not [
+            w for w in recwarn.list if w.category is DeprecationWarning
+        ]
+
+    def test_legacy_synthesizes_spec(self):
+        with pytest.warns(DeprecationWarning):
+            config = NetwideConfig(
+                window=2000,
+                counters=64,
+                seed=5,
+                shards=4,
+                shard_executor="thread",
+                shard_pipeline=256,
+            )
+        spec = config.spec
+        assert spec.algorithm.family == "memento"
+        assert spec.sharding == ShardingSpec(shards=4, executor="thread")
+        assert spec.pipeline == PipelineSpec(buffer_size=256)
+
+    def test_single_shard_legacy_stays_plain(self):
+        # a 1-shard legacy config always built the bare sketch, silently
+        # ignoring executor/pipeline — the shim must preserve that
+        with pytest.warns(DeprecationWarning):
+            config = NetwideConfig(
+                window=2000, shards=1, shard_pipeline=True
+            )
+        assert config.spec.sharding is None
+        assert config.spec.pipeline is None
+
+    def test_mixing_spec_and_legacy_knobs_rejected(self):
+        # mixing would silently discard one side; fail fast instead
+        with pytest.raises(ValueError, match="not both"):
+            NetwideConfig(
+                window=2000, shards=8, spec=spec_template(shards=2)
+            )
+        with pytest.raises(ValueError, match="not both"):
+            NetwideConfig(
+                window=2000, shard_executor="process", spec=spec_template()
+            )
+
+    def test_explicit_spec_backfills_legacy_fields(self):
+        config = NetwideConfig(
+            window=2000,
+            counters=64,
+            spec=spec_template(shards=3, executor="thread",
+                               pipeline=PipelineSpec()),
+        )
+        assert config.shards == 3
+        assert config.shard_executor == "thread"
+        assert config.shard_pipeline is True
+
+    @pytest.mark.parametrize(
+        "shards,executor,pipeline",
+        [(2, "serial", False), (3, "thread", True)],
+    )
+    def test_shim_equivalent_to_explicit_spec(
+        self, stream, shards, executor, pipeline
+    ):
+        """Legacy shard_* fields and the equivalent spec build the same
+        controller, byte-for-byte."""
+        base = dict(
+            points=3, method="batch", window=2000, counters=90, seed=13
+        )
+        with pytest.warns(DeprecationWarning):
+            legacy_config = NetwideConfig(
+                **base,
+                shards=shards,
+                shard_executor=executor,
+                shard_pipeline=pipeline,
+            )
+        spec_config = NetwideConfig(
+            **base,
+            spec=spec_template(
+                shards=shards,
+                executor=executor,
+                pipeline=PipelineSpec() if pipeline else None,
+            ),
+        )
+        with NetwideSystem(legacy_config) as a, NetwideSystem(spec_config) as b:
+            drive(a, stream)
+            drive(b, stream)
+            a.controller.algorithm.flush()
+            b.controller.algorithm.flush()
+            assert controller_state(a) == controller_state(b)
+
+
+class TestEngineBuiltControllers:
+    def test_resolved_spec_rebuilds_controller(self, stream):
+        """A recorded resolved spec alone reproduces the controller state."""
+        config = NetwideConfig(
+            points=2,
+            method="batch",
+            window=2000,
+            counters=64,
+            seed=7,
+            spec=spec_template(shards=2),
+        )
+        with NetwideSystem(config) as system:
+            drive(system, stream)
+            resolved = system.resolved_spec
+            # replay the exact same report stream into a spec-built engine
+            with build_engine(resolved) as engine:
+                replay = NetwideSystem(config)
+                # feed through fresh points so sampling decisions replay
+                for t, packet in enumerate(stream):
+                    report = replay.points[t % config.points].observe(packet)
+                    if report is None:
+                        continue
+                    samples = report.samples
+                    gap = report.covered - len(samples)
+                    if len(samples) == 1:
+                        engine.ingest_sample(samples[0])
+                    elif samples:
+                        engine.ingest_samples(samples)
+                    if gap > 0:
+                        engine.ingest_gap(gap)
+                replay.close()
+                engine.flush()
+                system.controller.algorithm.flush()
+                assert [
+                    pickle.dumps(s) for s in engine.sketch.shards
+                ] == [
+                    pickle.dumps(s)
+                    for s in system.controller.algorithm.sketch.shards
+                ]
+
+    def test_hierarchy_resolution(self, stream):
+        config = NetwideConfig(
+            points=2,
+            method="batch",
+            window=2000,
+            counters=200,
+            hierarchy=SRC_HIERARCHY,
+            seed=3,
+        )
+        with NetwideSystem(config) as system:
+            assert system.resolved_spec.algorithm.family == "h_memento"
+            assert system.resolved_spec.hierarchy == HierarchySpec("src")
+            assert isinstance(system.controller.algorithm.sketch, HMemento)
+
+    def test_plain_memento_resolution(self):
+        with NetwideSystem(
+            NetwideConfig(points=2, method="sample", window=2000, seed=3)
+        ) as system:
+            assert system.resolved_spec.algorithm.family == "memento"
+            assert system.resolved_spec.algorithm.tau == min(1.0, system.tau)
+            assert isinstance(system.controller.algorithm.sketch, Memento)
+
+    def test_counter_budget_split_recorded(self):
+        config = NetwideConfig(
+            points=2,
+            method="batch",
+            window=2000,
+            counters=100,
+            seed=3,
+            spec=spec_template(shards=4),
+        )
+        with NetwideSystem(config) as system:
+            assert system.resolved_spec.algorithm.counters == 25
+            assert system.controller.algorithm.shards[0].k == 25
+
+    def test_aggregate_has_no_resolved_spec(self):
+        with NetwideSystem(
+            NetwideConfig(points=2, method="aggregate", window=2000)
+        ) as system:
+            assert system.resolved_spec is None
+
+    def test_error_experiment_records_spec(self, stream):
+        config = NetwideConfig(
+            points=2, method="batch", window=2000, counters=64, seed=7
+        )
+        summary = run_error_experiment(config, stream[:4000], stride=200)
+        recorded = SketchSpec.from_dict(summary["spec"])
+        assert recorded.algorithm.family == "memento"
+        assert recorded.algorithm.tau == summary["tau"] or (
+            summary["tau"] > 1 and recorded.algorithm.tau == 1.0
+        )

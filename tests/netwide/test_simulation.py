@@ -156,7 +156,7 @@ class TestLifecycle:
         )
         with NetwideSystem(config) as system:
             algorithm = system.controller.algorithm
-            assert isinstance(algorithm, ShardedSketch)
+            assert isinstance(algorithm.sketch, ShardedSketch)
             assert algorithm.pipelined
 
 

@@ -81,7 +81,8 @@ class TestNetwideConfigSharding:
             seed=1, shards=4,
         )
         system = NetwideSystem(config)
-        assert isinstance(system.controller.algorithm, ShardedSketch)
+        # the controller hosts the engine facade over the sharded stack
+        assert isinstance(system.controller.algorithm.sketch, ShardedSketch)
         assert system.controller.algorithm.num_shards == 4
         assert system.controller.algorithm.query_mode == "route"
         # counter budget is split across shards
@@ -94,13 +95,13 @@ class TestNetwideConfigSharding:
         )
         system = NetwideSystem(config)
         algo = system.controller.algorithm
-        assert isinstance(algo, ShardedSketch)
+        assert isinstance(algo.sketch, ShardedSketch)
         assert algo.query_mode == "sum"
 
     def test_single_shard_stays_plain(self):
         config = NetwideConfig(points=2, method="batch", window=2000, seed=1)
         system = NetwideSystem(config)
-        assert isinstance(system.controller.algorithm, Memento)
+        assert isinstance(system.controller.algorithm.sketch, Memento)
 
     @pytest.mark.parametrize("shards", [1, 2, 4])
     def test_error_experiment_runs_sharded(self, shards):

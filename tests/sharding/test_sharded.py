@@ -34,6 +34,48 @@ def wcss_factory(i):
     return Memento(window=WINDOW, counters=16, tau=1.0, seed=1 + i)
 
 
+class TestFailFastValidation:
+    """A bad knob must fail BEFORE the factory constructs any shard —
+    a stateful-executor typo must not first build (and leak) S sketches."""
+
+    def counting_factory(self):
+        calls = []
+
+        def factory(i):
+            calls.append(i)
+            return SpaceSaving(8)
+
+        return factory, calls
+
+    @pytest.mark.parametrize(
+        "kwargs,exc",
+        [
+            ({"query_mode": "median"}, ValueError),
+            ({"executor": "warp_drive"}, ValueError),
+            ({"executor": object()}, TypeError),
+            ({"pipeline": "fast"}, TypeError),
+            ({"merge_counters": 0}, ValueError),
+            ({"shards": 0}, ValueError),
+        ],
+    )
+    def test_factory_never_called_on_bad_knob(self, kwargs, exc):
+        factory, calls = self.counting_factory()
+        with pytest.raises(exc):
+            ShardedSketch(factory, shards=kwargs.pop("shards", 4), **kwargs)
+        assert calls == []
+
+    def test_declared_windowed_mismatch_fails(self):
+        with pytest.raises(TypeError, match="windowed"):
+            ShardedSketch(lambda i: SpaceSaving(8), shards=2, windowed=True)
+
+    def test_declared_windowed_accepted(self):
+        sharded = ShardedSketch(exact_factory, shards=2, windowed=True)
+        assert sharded.windowed is True
+        # declaring False opts a windowed sketch out of gap alignment
+        plain = ShardedSketch(exact_factory, shards=2, windowed=False)
+        assert plain.windowed is False
+
+
 class TestRouting:
     def test_shard_index_deterministic_and_in_range(self):
         for key in list(range(100)) + ["flow-a", ("p", 8)]:

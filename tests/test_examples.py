@@ -32,6 +32,13 @@ class TestExamplesRun:
         assert "ENTER" in out and "tenant-7" in out
         assert "LEAVE" in out
 
+    def test_engine_spec(self, capsys):
+        load_example("engine_spec").main()
+        out = capsys.readouterr().out
+        assert "window heavy hitters" in out
+        assert "state-identical: True" in out
+        assert "registered family" in out
+
     @pytest.mark.slow
     def test_algorithm_comparison(self, capsys):
         load_example("algorithm_comparison").main()

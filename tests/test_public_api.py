@@ -1,14 +1,17 @@
-"""Public-API surface tests: exports, docstrings, and doctests."""
+"""Public-API surface tests: exports, docstrings, doctests, and the
+API-stability gate (exported-name + engine-signature snapshots)."""
 
 from __future__ import annotations
 
 import doctest
 import importlib
+import inspect
 import pkgutil
 
 import pytest
 
 import repro
+from repro.engine import HeavyHitterEngine, SketchSpec, build_engine
 
 
 class TestExports:
@@ -22,6 +25,7 @@ class TestExports:
     def test_subpackages_importable(self):
         for pkg in (
             "repro.core",
+            "repro.engine",
             "repro.hierarchy",
             "repro.traffic",
             "repro.netwide",
@@ -35,6 +39,7 @@ class TestExports:
     def test_subpackage_all_resolve(self):
         for pkg_name in (
             "repro.core",
+            "repro.engine",
             "repro.hierarchy",
             "repro.traffic",
             "repro.netwide",
@@ -72,3 +77,160 @@ class TestDocumentation:
             obj = getattr(repro, name)
             if isinstance(obj, type):
                 assert obj.__doc__, f"{name} lacks a class docstring"
+
+
+# ----------------------------------------------------------------------
+# API-stability gate
+# ----------------------------------------------------------------------
+#: Snapshot of the top-level export surface.  A failure here means the
+#: public API changed: removing or renaming a name is a breaking change
+#: (update the snapshot deliberately, with a changelog entry); adding a
+#: name means extending the snapshot in the same PR that exports it.
+EXPECTED_EXPORTS = (
+    "AggregatingPoint",
+    "AggregationController",
+    "AlgorithmSpec",
+    "BACKBONE",
+    "BernoulliSampler",
+    "BudgetModel",
+    "ChangeEvent",
+    "DATACENTER",
+    "EDGE",
+    "ExactIntervalCounter",
+    "ExactWindowCounter",
+    "ExactWindowHHH",
+    "FixedSampler",
+    "FloodSpec",
+    "FloodTrace",
+    "GeometricSampler",
+    "HMemento",
+    "HeavyChangeDetector",
+    "HeavyHitterEngine",
+    "Hierarchy",
+    "Hierarchy1D",
+    "Hierarchy2D",
+    "HierarchySpec",
+    "HttpRequest",
+    "HttpTrafficGenerator",
+    "IntervalScheme",
+    "MST",
+    "Memento",
+    "MergeableSketch",
+    "MergedWindowSketch",
+    "NetwideConfig",
+    "NetwideSystem",
+    "PROFILES",
+    "Packet",
+    "PersistentProcessExecutor",
+    "PipelineConfig",
+    "PipelineSpec",
+    "ProcessExecutor",
+    "QueryableSketch",
+    "RHHH",
+    "RunningRMSE",
+    "SRC_DST_HIERARCHY",
+    "SRC_HIERARCHY",
+    "SamplingPoint",
+    "SerialExecutor",
+    "SetQuality",
+    "ShardedSketch",
+    "ShardingSpec",
+    "SketchController",
+    "SketchSpec",
+    "SlidingSketch",
+    "SpaceSaving",
+    "TableSampler",
+    "ThreadExecutor",
+    "Trace",
+    "TraceProfile",
+    "VolumetricMemento",
+    "VolumetricSpaceSaving",
+    "WCSS",
+    "WindowBaseline",
+    "WindowedEntries",
+    "WindowedSketch",
+    "__version__",
+    "analytic_detection_time",
+    "build_engine",
+    "compute_hhh",
+    "detection_curve",
+    "figure4_series",
+    "generate_trace",
+    "hhh_on_arrival_rmse",
+    "hmemento_min_tau",
+    "hmemento_sampling_error",
+    "inject_flood",
+    "int_to_ip",
+    "ip_to_int",
+    "make_executor",
+    "make_prefix",
+    "make_sampler",
+    "memento_min_tau",
+    "memento_sampling_error",
+    "merge_entry_sets",
+    "merge_h_memento",
+    "merge_memento",
+    "merge_mst",
+    "merge_space_saving",
+    "merge_windowed_entry_sets",
+    "on_arrival_rmse",
+    "parse_prefix",
+    "precision_recall",
+    "prefix_str",
+    "register_algorithm",
+    "registered_algorithms",
+    "run_error_experiment",
+    "shard_index",
+    "simulate_detection_time",
+    "throughput",
+    "z_quantile",
+)
+
+#: Snapshot of the engine facade's unified surface.  These signatures are
+#: the contract every deployment scenario programs against; changing one
+#: is an API break.
+EXPECTED_ENGINE_SIGNATURES = {
+    "update": "(self, item: 'Hashable') -> 'None'",
+    "update_many": "(self, items) -> 'None'",
+    "extend": "(self, iterable: 'Iterable', chunk_size: 'int' = 4096) -> 'None'",
+    "query": "(self, key: 'Hashable') -> 'float'",
+    "heavy_hitters": "(self, theta: 'float') -> 'Dict[Hashable, float]'",
+    "top_k": "(self, k: 'int') -> 'List[Tuple[Hashable, float]]'",
+    "entries": "(self)",
+    "stats": "(self) -> 'Dict[str, object]'",
+    "flush": "(self) -> 'None'",
+    "close": "(self) -> 'None'",
+    "from_spec": (
+        "(spec: 'SpecLike', hierarchy: 'Optional[Hierarchy]' = None) "
+        "-> \"'HeavyHitterEngine'\""
+    ),
+}
+
+EXPECTED_SPEC_FIELDS = ("algorithm", "hierarchy", "sharding", "pipeline")
+
+
+class TestApiStabilityGate:
+    def test_export_snapshot(self):
+        assert tuple(sorted(set(repro.__all__))) == EXPECTED_EXPORTS
+
+    def test_engine_method_signatures(self):
+        for name, expected in EXPECTED_ENGINE_SIGNATURES.items():
+            signature = str(inspect.signature(getattr(HeavyHitterEngine, name)))
+            assert signature == expected, (
+                f"HeavyHitterEngine.{name}{signature} drifted from the "
+                f"snapshot {expected}"
+            )
+
+    def test_engine_is_context_manager(self):
+        assert hasattr(HeavyHitterEngine, "__enter__")
+        assert hasattr(HeavyHitterEngine, "__exit__")
+
+    def test_build_engine_signature(self):
+        params = list(inspect.signature(build_engine).parameters)
+        assert params == ["spec", "hierarchy"]
+
+    def test_sketch_spec_fields(self):
+        import dataclasses
+
+        fields = tuple(f.name for f in dataclasses.fields(SketchSpec))
+        assert fields == EXPECTED_SPEC_FIELDS
