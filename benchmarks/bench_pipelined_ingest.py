@@ -21,11 +21,19 @@ pipelined ingestion front-end (``ShardedSketch(pipeline=...)``):
   removes) and under pre-chunked 4096-packet batches (where the
   synchronous path is already amortized and the thread can only win
   the partition/apply overlap).
+* every case also times the **shared-memory transport**
+  (``pipelined-shm``): the same pipelined stack with
+  ``transport: "shm"``, where plan columns travel through a per-worker
+  shared-memory ring instead of the pickle-over-pipe payload and
+  resident shards consume them through the fused owned-plan path.
 * the full run gates the front-end's contract: pipelined must reach
   ≥ ``MIN_PIPE_4SHARD``× the synchronous persistent path at 4 shards
   and ≥ ``MIN_PIPE_1SHARD``× at 1 shard (the delegation fast path —
-  coalescing must never cost throughput).  ``--smoke`` shrinks the
-  workload for CI and relaxes both gates to a plain ≥ 1.0×
+  coalescing must never cost throughput); the shm transport must reach
+  ≥ ``MIN_SHM_CHUNKS``× the pipe-based pipelined path on the 4-shard
+  pre-chunked columnar feed and must never regress (≥ ``MIN_SHM_OTHER``×)
+  on the report-scale and scalar feeds.  ``--smoke`` shrinks the
+  workload for CI and relaxes every gate to a plain ≥ 1.0×
   no-regression bound.
 
 Results persist to ``BENCH_pipelined_ingest.json`` at the repo root.
@@ -73,15 +81,30 @@ GATED_SHARDS = 4
 #: full-run gates on the report-scale feed
 MIN_PIPE_4SHARD = 1.3
 MIN_PIPE_1SHARD = 1.0
-#: smoke-mode no-regression gate (CI noise tolerance is the repeats)
+#: full-run shm-transport gates (vs the pipe-based pipelined path):
+#: the columnar chunk feed is where the zero-copy ring + fused consumer
+#: must pay off; everywhere else it must simply never regress
+MIN_SHM_CHUNKS = 1.5
+MIN_SHM_OTHER = 1.0
+#: smoke-mode no-regression gates (CI noise tolerance is the repeats)
 SMOKE_MIN_PIPE = 1.0
+SMOKE_MIN_SHM = 1.0
+
+#: timed modes: (row-name suffix, pipelined?, plan transport)
+MODES = (
+    ("sync", False, "pipe"),
+    ("pipelined", True, "pipe"),
+    ("pipelined-shm", True, "shm"),
+)
 
 
 def make_stream(n: int = N) -> list:
     return generate_trace(BACKBONE, n, seed=99).packets_1d()
 
 
-def case_spec(shards: int, pipelined: bool) -> SketchSpec:
+def case_spec(
+    shards: int, pipelined: bool, transport: str = "pipe"
+) -> SketchSpec:
     """The declarative spec of one timed deployment.
 
     Every timed construction goes through ``build_engine`` on this, and
@@ -97,7 +120,11 @@ def case_spec(shards: int, pipelined: bool) -> SketchSpec:
             "tau": TAU,
             "seed": 1,
         },
-        "sharding": {"shards": shards, "executor": "persistent"},
+        "sharding": {
+            "shards": shards,
+            "executor": "persistent",
+            "transport": transport,
+        },
     }
     if pipelined:
         payload["pipeline"] = {"buffer_size": PIPELINE_BUFFER}
@@ -138,9 +165,10 @@ def time_feed(
     pipelined: bool,
     stream,
     repeats: int,
+    transport: str = "pipe",
 ) -> float:
     """Best wall-seconds for one full feed pass + the query sync point."""
-    sharded = build_engine(case_spec(shards, pipelined))
+    sharded = build_engine(case_spec(shards, pipelined, transport))
     drive = FEEDS[feed]
     probe = stream[0]
     try:
@@ -173,11 +201,12 @@ def run_harness(
     repeats: int = 3,
     with_context: bool = True,
 ) -> Tuple[List[BenchResult], Dict[str, Dict[str, float]]]:
-    """Time sync vs pipelined per (feed, shard count).
+    """Time sync vs pipelined vs pipelined-shm per (feed, shard count).
 
-    Returns the results plus a ``{case: {sync, pipelined, speedup}}``
-    summary, keyed ``reports/shards{S}`` for the gated critical path and
-    ``scalar/shards4`` / ``chunks/shards4`` for the context rows.
+    Returns the results plus a ``{case: {sync, pipelined, shm, speedup,
+    shm_vs_pipe}}`` summary, keyed ``reports/shards{S}`` for the gated
+    critical path and ``scalar/shards4`` / ``chunks/shards4`` for the
+    context rows.
     """
     stream = make_stream(n)
     scalar_stream = stream[:scalar_n]
@@ -192,9 +221,10 @@ def run_harness(
     for feed, shards, case_stream in cases:
         ops = len(case_stream)
         row: Dict[str, float] = {}
-        for mode in ("sync", "pipelined"):
+        for mode, pipelined, transport in MODES:
             seconds = time_feed(
-                feed, shards, mode == "pipelined", case_stream, repeats
+                feed, shards, pipelined, case_stream, repeats,
+                transport=transport,
             )
             row[mode] = ops / seconds
             results.append(
@@ -209,16 +239,18 @@ def run_harness(
                         "shards": shards,
                         "mode": mode,
                         "executor": "persistent",
+                        "transport": transport,
                         "report": REPORT,
                         "chunk": CHUNK,
                         "pipeline_buffer": PIPELINE_BUFFER,
                         "spec": case_spec(
-                            shards, mode == "pipelined"
+                            shards, pipelined, transport
                         ).to_dict(),
                     },
                 )
             )
         row["speedup"] = row["pipelined"] / row["sync"]
+        row["shm_vs_pipe"] = row["pipelined-shm"] / row["pipelined"]
         summary[f"{feed}/shards{shards}"] = row
     return results, summary
 
@@ -272,23 +304,31 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     width = max(len(case) for case in summary)
     print(
         f"{'case'.ljust(width)}  {'sync ops/s':>13}  "
-        f"{'pipelined ops/s':>15}  speedup"
+        f"{'pipelined ops/s':>15}  {'shm ops/s':>13}  speedup  shm/pipe"
     )
     for case, row in summary.items():
         print(
             f"{case.ljust(width)}  {row['sync']:>13,.0f}  "
-            f"{row['pipelined']:>15,.0f}  {row['speedup']:>6.2f}x"
+            f"{row['pipelined']:>15,.0f}  {row['pipelined-shm']:>13,.0f}  "
+            f"{row['speedup']:>6.2f}x  {row['shm_vs_pipe']:>7.2f}x"
         )
     print(f"results -> {out}")
 
     failures: List[str] = []
     gated = summary[f"reports/shards{GATED_SHARDS}"]["speedup"]
     one = summary["reports/shards1"]["speedup"]
+    shm_reports = summary[f"reports/shards{GATED_SHARDS}"]["shm_vs_pipe"]
     if args.smoke:
         if gated < SMOKE_MIN_PIPE:
             failures.append(
                 f"pipelined {gated:.2f}x < {SMOKE_MIN_PIPE}x synchronous on "
                 f"the {GATED_SHARDS}-shard report feed (smoke no-regression)"
+            )
+        if shm_reports < SMOKE_MIN_SHM:
+            failures.append(
+                f"shm transport {shm_reports:.2f}x < {SMOKE_MIN_SHM}x the "
+                f"pipe transport on the {GATED_SHARDS}-shard report feed "
+                f"(smoke no-regression)"
             )
     else:
         if gated < MIN_PIPE_4SHARD:
@@ -302,6 +342,24 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 f"pipelined {one:.2f}x < {MIN_PIPE_1SHARD}x synchronous on "
                 f"the 1-shard delegation path"
             )
+        shm_chunks = summary[f"chunks/shards{GATED_SHARDS}"]["shm_vs_pipe"]
+        if shm_chunks < MIN_SHM_CHUNKS:
+            failures.append(
+                f"shm transport {shm_chunks:.2f}x < {MIN_SHM_CHUNKS}x the "
+                f"pipe transport on the {GATED_SHARDS}-shard pre-chunked "
+                f"columnar feed"
+            )
+        for case in (
+            "reports/shards1",
+            f"reports/shards{GATED_SHARDS}",
+            f"scalar/shards{GATED_SHARDS}",
+        ):
+            ratio = summary[case]["shm_vs_pipe"]
+            if ratio < MIN_SHM_OTHER:
+                failures.append(
+                    f"shm transport {ratio:.2f}x < {MIN_SHM_OTHER}x the "
+                    f"pipe transport on {case} (no-regression)"
+                )
     if failures:
         for failure in failures:
             print(f"FAIL: {failure}", file=sys.stderr)

@@ -156,6 +156,7 @@ def run_harness(
                 "path": "batch",
                 "case": name,
                 "chunk": CHUNK,
+                "transport": None,
                 "spec": bare_spec.to_dict(),
             },
         )
@@ -175,6 +176,9 @@ def run_harness(
                     "chunk": CHUNK,
                     "shards": shards,
                     "executor": "serial",
+                    # resolved plan transport: None outside the
+                    # persistent executor (serial applies in-process)
+                    "transport": spec.sharding.resolved_transport,
                     "spec": spec.to_dict(),
                 },
             )

@@ -133,6 +133,21 @@ class BatchIngest:
         if tail:
             gap_fn(tail)
 
+    def ingest_plan_owned(self, plan) -> None:
+        """Consume a plan of *owned* packets in one batched call.
+
+        Semantically identical to ``ingest_plan(plan, sampled=False)`` —
+        every selected item goes through the sketch's own ``update``
+        semantics (coin flips included), gaps advance the window — and
+        that generic replay is exactly what this default does.  The
+        Memento family overrides it with a fused path that draws the
+        whole decision column up front instead of replaying the plan
+        segment by segment; the sharding layer's columnar (shared
+        memory) lane calls this so scattered per-shard plans don't decay
+        into thousands of tiny ``update_many`` segments.
+        """
+        self.ingest_plan(plan)
+
 
 def regroup_by_pattern(hierarchy, packets, num_patterns: int) -> List[list]:
     """Split a packet batch into one in-order prefix list per pattern.

@@ -40,7 +40,68 @@ __all__ = [
     "plan_from_positions",
     "collapse_runs",
     "collapse_run_arrays",
+    "encode_items_column",
 ]
+
+
+def encode_items_column(items: Sequence) -> Optional[np.ndarray]:
+    """Losslessly encode a key batch as one fixed-width numpy column.
+
+    The shared-memory plan transport (:mod:`repro.sharding.shm`) ships
+    item payloads as columns; this is the encode side.  Supported key
+    batches — machine-sized ints (``int64``/``uint64``), all-``str``
+    (``<U`` fixed width), all-``bytes`` (``S`` fixed width) — return an
+    array whose ``.tolist()`` is **equal to** ``list(items)``; anything
+    else returns ``None`` and the caller falls back to pickling.
+
+    The type probes mirror :func:`collapse_run_arrays`: only exact
+    ``int``/``str``/``bytes`` elements qualify (a bool or numpy scalar
+    anywhere disqualifies the batch — round-tripping must not change
+    element types), oversized ints are rejected by dtype kind, and
+    strings/bytes with *trailing* NULs are rejected because numpy's
+    fixed-width dtypes strip them on the way back out.
+    """
+    n = len(items)
+    if n == 0:
+        return None
+    first = type(items[0])
+    if first is int:
+        if any(type(item) is not int for item in items):
+            return None
+        try:
+            arr = np.asarray(items)
+        except (ValueError, TypeError, OverflowError):
+            return None
+        if arr.dtype.kind not in "iu":
+            return None
+        return arr
+    if first is str:
+        if any(
+            type(item) is not str or (item and item[-1] == "\x00")
+            for item in items
+        ):
+            return None
+        try:
+            arr = np.asarray(items)
+        except (ValueError, TypeError):  # pragma: no cover - defensive
+            return None
+        if arr.dtype.kind != "U":  # pragma: no cover - defensive
+            return None
+        return arr
+    if first is bytes:
+        if any(
+            type(item) is not bytes or (item and item[-1] == 0)
+            for item in items
+        ):
+            return None
+        try:
+            arr = np.asarray(items)
+        except (ValueError, TypeError):  # pragma: no cover - defensive
+            return None
+        if arr.dtype.kind != "S":  # pragma: no cover - defensive
+            return None
+        return arr
+    return None
 
 
 def collapse_run_arrays(

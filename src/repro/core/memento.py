@@ -641,6 +641,53 @@ class Memento(BatchIngest):
         if tail:
             self.ingest_gap(tail)
 
+    def ingest_plan_owned(self, plan: IngestPlan) -> None:
+        """Fused owned-packet plan consumer (the sharding layer's feed).
+
+        Equivalent to the generic
+        :meth:`repro.core.batching.BatchIngest.ingest_plan_owned` — each
+        owned item still flips its own coin — but the whole decision
+        column is drawn in one ``decision_array`` call instead of one
+        per contiguous segment.  That is RNG-identical (``decision_array``
+        consumes the sampler exactly as sequential scalar draws would —
+        the PR-1 invariant) and turns a scattered plan, which the
+        generic replay decays into thousands of tiny ``update_many``
+        segments, into a single sampled plan for the span-fused
+        :meth:`ingest_plan` loop: unsampled owned packets simply widen
+        the gaps between the surviving positions, exactly as a scalar
+        Window update would.
+        """
+        items = plan.items
+        sampler = self._sampler
+        if (
+            self.tau >= 1.0
+            and isinstance(sampler, _ALWAYS_SAMPLE_AT_TAU1)
+            and sampler.tau >= 1.0
+        ):
+            # WCSS: every owned packet is a Full update, no randomness
+            self.ingest_plan(plan, sampled=True)
+            return
+        if not items:
+            self.ingest_plan(plan, sampled=True)  # pure window advance
+            return
+        if plan.dense:
+            self.update_many(items)
+            return
+        decisions = draw_decision_array(sampler, len(items))
+        keep = np.asarray(decisions, dtype=bool)
+        if keep.all():
+            self.ingest_plan(plan, sampled=True)
+            return
+        selected_positions = plan.positions[keep]
+        if isinstance(items, np.ndarray):
+            selected_items = items[keep].tolist()
+        else:
+            selected_items = list(compress(items, keep.tolist()))
+        self.ingest_plan(
+            IngestPlan(plan.n, selected_positions, selected_items),
+            sampled=True,
+        )
+
     def ingest_gap(self, count: int) -> None:
         """Advance the window for ``count`` unsampled (unreported) packets.
 

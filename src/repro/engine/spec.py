@@ -42,7 +42,7 @@ from pathlib import Path
 from typing import Dict, Optional, Union
 
 from ..hierarchy.domain import SRC_DST_HIERARCHY, SRC_HIERARCHY, Hierarchy
-from ..sharding.executors import _EXECUTORS
+from ..sharding.executors import _EXECUTORS, TRANSPORTS
 from ..sharding.pipeline import PipelineConfig
 from ..sharding.sharded import QUERY_MODES
 
@@ -181,12 +181,21 @@ class ShardingSpec:
     hierarchical families (prefix queries span routing shards) and
     ``route`` otherwise — the same choice the network-wide controller
     hard-coded before this layer existed.
+
+    ``transport`` selects the persistent executor's plan payload
+    channel: ``"pipe"`` (the default when omitted) pickles plans into
+    the worker pipes, ``"shm"`` ships columnar plans through per-worker
+    shared-memory rings (descriptors only on the pipe).  It is a
+    persistent-executor knob — naming it with any other executor is a
+    parse error, because silently ignoring it would misrecord how a
+    benched deployment actually ran.
     """
 
     shards: int = 1
     executor: str = "serial"
     query_mode: Optional[str] = None
     merge_counters: Optional[int] = None
+    transport: Optional[str] = None
 
     def __post_init__(self) -> None:
         _check_positive("shards", self.shards, allow_none=False)
@@ -201,6 +210,31 @@ class ShardingSpec:
                 f"{self.query_mode!r}"
             )
         _check_positive("merge_counters", self.merge_counters)
+        if self.transport is not None:
+            if self.transport not in TRANSPORTS:
+                raise ValueError(
+                    f"transport must be one of {TRANSPORTS} or null, got "
+                    f"{self.transport!r}"
+                )
+            if self.executor != "persistent":
+                raise ValueError(
+                    f"transport is a persistent-executor knob; remove it or "
+                    f"set executor='persistent' (got executor="
+                    f"{self.executor!r})"
+                )
+
+    @property
+    def resolved_transport(self) -> Optional[str]:
+        """The transport this spec actually runs with.
+
+        ``None`` for non-persistent executors (no plan channel exists);
+        for the persistent executor the explicit knob, defaulting to
+        ``"pipe"``.  Bench rows record this so a row's metadata says how
+        its plans moved even when the spec left the knob implicit.
+        """
+        if self.executor != "persistent":
+            return None
+        return self.transport or "pipe"
 
 
 @dataclass(frozen=True)

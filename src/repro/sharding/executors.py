@@ -30,6 +30,16 @@ strategies ship:
   ``stateful = True`` so the sharding layer switches to the
   seed/submit/collect protocol instead of ``map``.
 
+  The plan payload channel is the ``transport`` knob: ``"pipe"``
+  (default) pickles each task into the worker pipe; ``"shm"`` adds one
+  :class:`~repro.sharding.shm.PlanRing` shared-memory ring per worker —
+  vectorizable task columns (numpy plan columns, int/str/bytes item
+  lists) are written into the ring and the pipe carries only a slot
+  descriptor, with automatic per-task fallback to the pickle message
+  for payloads that don't fit a slot or can't ride a column.  Both
+  transports deliver equal task arguments, pinned by the differential
+  suite in ``tests/sharding/test_shm_transport.py``.
+
 The stateless executors implement ``map(fn, tasks)`` — apply
 ``fn(*task)`` for each task, returning results in task order — and
 ``close()``.  Any object with that surface can be passed wherever an
@@ -45,13 +55,19 @@ import traceback
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from typing import Callable, List, Optional, Sequence, Tuple
 
+from .shm import PlanRing, rebuild_task, split_task
+
 __all__ = [
     "SerialExecutor",
     "ThreadExecutor",
     "ProcessExecutor",
     "PersistentProcessExecutor",
     "make_executor",
+    "TRANSPORTS",
 ]
+
+#: Plan payload channels the persistent executor supports.
+TRANSPORTS = ("pipe", "shm")
 
 
 class SerialExecutor:
@@ -132,46 +148,71 @@ class ProcessExecutor(_PoolExecutor):
     _pool_cls = ProcessPoolExecutor
 
 
-def _persistent_worker(conn) -> None:
+def _persistent_worker(conn, ring_args: Optional[Tuple] = None) -> None:
     """Loop of one resident shard worker (module-level: must pickle).
 
     The worker owns its shard sketch for the lifetime of the process.
     Messages: ``("seed", shard)`` installs state; ``("apply", fn, *args)``
-    runs ``fn(shard, *args)`` in place; ``("collect",)`` ships the
-    current state (or the first recorded failure) back; ``("stop",)``
-    exits.  A failed apply poisons the worker — later applies are
-    skipped and the error surfaces at the next collect — so the parent
-    never silently continues on half-applied state.
+    runs ``fn(shard, *args)`` in place; ``("apply_cols", fn, slot,
+    layouts, recipe)`` rebuilds the args as zero-copy views over the
+    shared-memory ring named by ``ring_args`` and applies them, retiring
+    the slot afterwards **whether or not the apply succeeded** (a
+    poisoned worker that stopped retiring would deadlock the parent's
+    backpressure wait); ``("collect",)`` ships the current state (or the
+    first recorded failure) back; ``("stop",)`` exits.  A failed apply
+    poisons the worker — later applies are skipped and the error
+    surfaces at the next collect — so the parent never silently
+    continues on half-applied state.
     """
     shard = None
     error: Optional[str] = None
-    while True:
-        try:
-            msg = conn.recv()
-        except EOFError:  # parent went away
-            return
-        kind = msg[0]
-        if kind == "apply":
-            if error is None:
+    ring = PlanRing.attach(*ring_args) if ring_args is not None else None
+    try:
+        while True:
+            try:
+                msg = conn.recv()
+            except EOFError:  # parent went away
+                return
+            kind = msg[0]
+            if kind == "apply":
+                if error is None:
+                    try:
+                        fn = msg[1]
+                        fn(shard, *msg[2:])
+                    except BaseException:
+                        error = traceback.format_exc()
+            elif kind == "apply_cols":
                 try:
-                    fn = msg[1]
-                    fn(shard, *msg[2:])
+                    if error is None:
+                        fn, slot, layouts, recipe = msg[1:5]
+                        args = rebuild_task(ring.read(slot, layouts), recipe)
+                        try:
+                            fn(shard, *args)
+                        finally:
+                            # drop the zero-copy views before the slot
+                            # is handed back for reuse
+                            del args
                 except BaseException:
                     error = traceback.format_exc()
-        elif kind == "collect":
-            if error is not None:
-                conn.send(("error", error))
-            else:
-                try:
-                    conn.send(("state", shard))
-                except BaseException:
-                    conn.send(("error", traceback.format_exc()))
-        elif kind == "seed":
-            shard = msg[1]
-            error = None
-        elif kind == "stop":
-            conn.close()
-            return
+                finally:
+                    ring.retire()
+            elif kind == "collect":
+                if error is not None:
+                    conn.send(("error", error))
+                else:
+                    try:
+                        conn.send(("state", shard))
+                    except BaseException:
+                        conn.send(("error", traceback.format_exc()))
+            elif kind == "seed":
+                shard = msg[1]
+                error = None
+            elif kind == "stop":
+                conn.close()
+                return
+    finally:
+        if ring is not None:
+            ring.close()
 
 
 class PersistentProcessExecutor:
@@ -189,10 +230,31 @@ class PersistentProcessExecutor:
 
     stateful = True
 
-    def __init__(self, mp_context: Optional[str] = None) -> None:
+    def __init__(
+        self,
+        mp_context: Optional[str] = None,
+        *,
+        transport: str = "pipe",
+        ring_slots: int = 8,
+        ring_slot_bytes: int = 1 << 20,
+    ) -> None:
+        if transport not in TRANSPORTS:
+            raise ValueError(
+                f"transport must be one of {TRANSPORTS}, got {transport!r}"
+            )
+        if ring_slots <= 0:
+            raise ValueError(f"ring_slots must be positive, got {ring_slots}")
+        if ring_slot_bytes <= 0:
+            raise ValueError(
+                f"ring_slot_bytes must be positive, got {ring_slot_bytes}"
+            )
         self._ctx = mp.get_context(mp_context)
+        self.transport = transport
+        self.ring_slots = int(ring_slots)
+        self.ring_slot_bytes = int(ring_slot_bytes)
         self._workers: List = []
         self._conns: List = []
+        self._rings: List[Optional[PlanRing]] = []
 
     @property
     def seeded(self) -> bool:
@@ -202,17 +264,27 @@ class PersistentProcessExecutor:
     def seed(self, shards: Sequence) -> None:
         """Spawn one resident worker per shard and ship initial state.
 
-        Workers register before their state ships, so a mid-loop failure
-        (an unpicklable shard, a dead pipe) tears every spawned worker
-        down via :meth:`close` instead of leaking processes blocked on
-        ``recv``.
+        Workers (and their shared-memory rings, under the ``shm``
+        transport) register before their state ships, so a mid-loop
+        failure (an unpicklable shard, a dead pipe) tears every spawned
+        worker and segment down via :meth:`close` instead of leaking
+        processes blocked on ``recv`` or unlinked segments.
         """
         self.close()
         try:
             for shard in shards:
+                ring_args = None
+                if self.transport == "shm":
+                    ring = PlanRing(self.ring_slots, self.ring_slot_bytes)
+                    self._rings.append(ring)
+                    ring_args = (ring.name, ring.slots, ring.slot_bytes)
+                else:
+                    self._rings.append(None)
                 parent_conn, child_conn = self._ctx.Pipe()
                 worker = self._ctx.Process(
-                    target=_persistent_worker, args=(child_conn,), daemon=True
+                    target=_persistent_worker,
+                    args=(child_conn, ring_args),
+                    daemon=True,
                 )
                 worker.start()
                 child_conn.close()
@@ -224,11 +296,32 @@ class PersistentProcessExecutor:
             raise
 
     def submit(self, fn: Callable, tasks: Sequence[Tuple]) -> None:
-        """Send one ``fn(shard, *task)`` application per worker (no wait)."""
+        """Send one ``fn(shard, *task)`` application per worker (no wait).
+
+        Under the ``shm`` transport each task's vectorizable columns go
+        through the worker's ring and the pipe carries a slot
+        descriptor; a task whose payload exceeds a ring slot (or has no
+        columns at all) falls back to the classic pickle message, so
+        submit never fails on payload shape.  The only wait is ring
+        backpressure: with every slot still in flight, the write blocks
+        until the worker retires one.
+        """
         if len(tasks) != len(self._conns):
             raise RuntimeError(
                 f"{len(tasks)} tasks for {len(self._conns)} resident workers"
             )
+        if self.transport == "shm":
+            for conn, ring, task in zip(self._conns, self._rings, tasks):
+                split = split_task(task)
+                if split is not None:
+                    columns, recipe = split
+                    written = ring.write(columns)
+                    if written is not None:
+                        slot, layouts = written
+                        conn.send(("apply_cols", fn, slot, layouts, recipe))
+                        continue
+                conn.send(("apply", fn, *task))
+            return
         for conn, task in zip(self._conns, tasks):
             conn.send(("apply", fn, *task))
 
@@ -257,7 +350,13 @@ class PersistentProcessExecutor:
         return states
 
     def close(self) -> None:
-        """Stop all resident workers (idempotent); state in them is lost."""
+        """Stop all resident workers (idempotent); state in them is lost.
+
+        Shared-memory rings are closed (and unlinked) only after the
+        workers joined, so no worker is left applying against an
+        unlinked mapping; a worker that had to be terminated still gets
+        its segment unlinked here — the parent owns every ring.
+        """
         for conn in self._conns:
             try:
                 conn.send(("stop",))
@@ -273,8 +372,12 @@ class PersistentProcessExecutor:
             if worker.is_alive():  # pragma: no cover - defensive
                 worker.terminate()
                 worker.join(timeout=5)
+        for ring in self._rings:
+            if ring is not None:
+                ring.close()
         self._workers = []
         self._conns = []
+        self._rings = []
 
     def __del__(self):  # pragma: no cover - interpreter-teardown best effort
         try:

@@ -47,8 +47,9 @@ point.
 from __future__ import annotations
 
 import math
+from concurrent.futures import ThreadPoolExecutor
 from itertools import chain
-from typing import Callable, Dict, Hashable, Iterable, List, Optional, Sequence
+from typing import Callable, Dict, Hashable, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -68,6 +69,26 @@ __all__ = ["ShardedSketch", "shard_index"]
 _MASK64 = (1 << 64) - 1
 
 QUERY_MODES = ("route", "sum")
+
+#: Batch size (items) above which the per-shard item gathers fan out
+#: across the shared thread pool.  ``np.take`` releases the GIL for
+#: large gathers, so overlapping them only pays off once each gather is
+#: big enough to amortize the task handoff; below the bar the loop runs
+#: inline.
+PARALLEL_GATHER_MIN = 1 << 16
+
+_GATHER_POOL: Optional[ThreadPoolExecutor] = None
+
+
+def _gather_pool() -> ThreadPoolExecutor:
+    """The process-wide gather pool (lazily created, shared by all
+    sketches — gathers are pure reads, so interleaving is safe)."""
+    global _GATHER_POOL
+    if _GATHER_POOL is None:
+        _GATHER_POOL = ThreadPoolExecutor(
+            max_workers=4, thread_name_prefix="shard-gather"
+        )
+    return _GATHER_POOL
 
 
 def _mix64(value: int) -> int:
@@ -93,6 +114,35 @@ def shard_index(key: Hashable, shards: int) -> int:
     return _mix64(h) % shards
 
 
+def _group_by_owner(owners: np.ndarray, shards: int) -> List[np.ndarray]:
+    """Per-shard ascending position arrays from an owner column.
+
+    One stable argsort plus a ``searchsorted`` over the shard ids
+    replaces the historical ``S`` boolean-mask passes
+    (``index[owners == j]`` per shard): the stable sort keeps equal
+    owners in stream order, so each returned group is exactly the
+    ascending index array the mask pass produced — pinned byte-identical
+    by ``tests/sharding/test_partition.py``.
+    """
+    order = np.argsort(owners, kind="stable")
+    bounds = np.searchsorted(
+        owners[order], np.arange(1, shards, dtype=owners.dtype)
+    )
+    return np.split(order, bounds)
+
+
+def _gather_items(probe: np.ndarray, groups: List[np.ndarray]) -> List[np.ndarray]:
+    """Gather each group's items from the probe column.
+
+    Large batches fan the per-shard ``np.take`` gathers across the
+    shared thread pool (``np.take`` releases the GIL); small ones run
+    inline — the handoff would cost more than the copy.
+    """
+    if probe.size >= PARALLEL_GATHER_MIN and len(groups) > 1:
+        return list(_gather_pool().map(probe.take, groups))
+    return [probe.take(group) for group in groups]
+
+
 def _apply_shard_plan(shard, positions, items, total, windowed, method):
     """Apply one shard's slice of a global batch; returns the shard.
 
@@ -105,7 +155,20 @@ def _apply_shard_plan(shard, positions, items, total, windowed, method):
     ``ingest_samples``).  Windowed shards thereby stay aligned with the
     *global* window; interval shards just receive their owned packets.
     Module-level (not a closure) so the process executors can pickle it.
+
+    The columnar (shared-memory) lane passes ``positions``/``items`` as
+    numpy arrays instead of lists: items decode to the plain Python
+    objects the sketch would have seen (keeping resident state
+    byte-identical to the pipe transport), positions stay a zero-copy
+    view, and the owned-packet feed routes through the sketch's fused
+    ``ingest_plan_owned`` — semantically the per-item ``update`` path,
+    minus the per-segment replay overhead.
     """
+    columnar = isinstance(positions, np.ndarray)
+    if isinstance(items, np.ndarray):
+        # decode to Python objects: sketch state must not depend on the
+        # transport (np.int64 keys would pickle differently)
+        items = items.tolist()
     if not windowed:
         if items:
             getattr(shard, method)(items)
@@ -113,6 +176,11 @@ def _apply_shard_plan(shard, positions, items, total, windowed, method):
     plan = plan_from_positions(
         items, np.asarray(positions, dtype=np.int64), total
     )
+    if columnar and method != "ingest_samples":
+        ingest_owned = getattr(shard, "ingest_plan_owned", None)
+        if ingest_owned is not None:
+            ingest_owned(plan)
+            return shard
     ingest_plan = getattr(shard, "ingest_plan", None)
     if ingest_plan is not None:
         ingest_plan(plan, sampled=method == "ingest_samples")
@@ -265,42 +333,52 @@ class ShardedSketch(BatchIngest):
         key = item if self._key_fn is None else self._key_fn(item)
         return shard_index(key, self.num_shards)
 
+    def _route_owners(
+        self, items: Sequence
+    ) -> Optional[Tuple[np.ndarray, np.ndarray]]:
+        """Vectorized owner column for an integer batch, or ``None``.
+
+        Returns ``(owners, probe)`` — the per-item shard ids and the
+        items as a numpy column — for the common integer-packet streams;
+        only a genuinely integral batch qualifies (a float anywhere
+        makes ``asarray`` produce a float dtype, which would silently
+        truncate and diverge from the scalar hash routing).  ``None``
+        sends the caller to the Python-loop fallback.
+        """
+        if self._key_fn is not None or not len(items) or type(items[0]) is not int:
+            return None
+        try:
+            probe = np.asarray(items)
+        except (ValueError, TypeError, OverflowError):
+            return None
+        if probe.dtype.kind not in "iu":
+            return None
+        if probe.dtype.kind == "i":
+            arr = probe.astype(np.int64).view(np.uint64)
+        else:
+            arr = probe.astype(np.uint64)
+        mixed = arr.copy()
+        mixed ^= mixed >> np.uint64(33)
+        mixed *= np.uint64(0xFF51AFD7ED558CCD)
+        mixed ^= mixed >> np.uint64(33)
+        mixed *= np.uint64(0xC4CEB9FE1A85EC53)
+        mixed ^= mixed >> np.uint64(33)
+        owners = mixed % np.uint64(self.num_shards)
+        return owners, probe
+
     def _partition(self, items: Sequence) -> List[tuple]:
-        """Split a batch into per-shard ``(positions, items)`` pairs."""
-        n = len(items)
+        """Split a batch into per-shard ``(positions, items)`` list pairs."""
         shards = self.num_shards
+        routed = self._route_owners(items)
+        if routed is not None:
+            owners, probe = routed
+            groups = _group_by_owner(owners, shards)
+            gathered = _gather_items(probe, groups)
+            return [
+                (positions.tolist(), owned.tolist())
+                for positions, owned in zip(groups, gathered)
+            ]
         key_fn = self._key_fn
-        if key_fn is None and n and type(items[0]) is int:
-            # vectorized routing for the common integer-packet streams;
-            # only a genuinely integral batch qualifies (a float anywhere
-            # makes asarray produce a float dtype, which would silently
-            # truncate and diverge from the scalar hash routing)
-            try:
-                probe = np.asarray(items)
-            except (ValueError, TypeError, OverflowError):
-                probe = None
-            arr = None
-            if probe is not None and probe.dtype.kind in "iu":
-                if probe.dtype.kind == "i":
-                    arr = probe.astype(np.int64).view(np.uint64)
-                else:
-                    arr = probe.astype(np.uint64)
-            if arr is not None:
-                mixed = arr.copy()
-                mixed ^= mixed >> np.uint64(33)
-                mixed *= np.uint64(0xFF51AFD7ED558CCD)
-                mixed ^= mixed >> np.uint64(33)
-                mixed *= np.uint64(0xC4CEB9FE1A85EC53)
-                mixed ^= mixed >> np.uint64(33)
-                owners = mixed % np.uint64(shards)
-                index = np.arange(n)
-                out = []
-                for j in range(shards):
-                    positions = index[owners == j]
-                    out.append(
-                        (positions.tolist(), [items[i] for i in positions])
-                    )
-                return out
         per_positions: List[list] = [[] for _ in range(shards)]
         per_items: List[list] = [[] for _ in range(shards)]
         for idx, item in enumerate(items):
@@ -309,6 +387,18 @@ class ShardedSketch(BatchIngest):
             per_positions[j].append(idx)
             per_items[j].append(item)
         return list(zip(per_positions, per_items))
+
+    def _partition_columns(self, items: Sequence) -> Optional[List[tuple]]:
+        """Columnar :meth:`_partition`: per-shard ``(positions, items)``
+        numpy pairs for the shared-memory transport, or ``None`` when the
+        batch doesn't vectorize (the caller partitions into lists and the
+        executor's per-task fallback picks the channel)."""
+        routed = self._route_owners(items)
+        if routed is None:
+            return None
+        owners, probe = routed
+        groups = _group_by_owner(owners, self.num_shards)
+        return list(zip(groups, _gather_items(probe, groups)))
 
     # ------------------------------------------------------------------
     # ingestion (SlidingSketch + WindowedSketch surface)
@@ -428,8 +518,15 @@ class ShardedSketch(BatchIngest):
             getattr(self._shards[0], method)(items)
             return
         windowed = self.windowed
-        partition = self._partition(items)
         if self._stateful:
+            partition = None
+            if getattr(self._executor, "transport", None) == "shm":
+                # columnar lane: positions/items stay numpy arrays so the
+                # executor ships them through the shared-memory ring and
+                # the worker consumes zero-copy views
+                partition = self._partition_columns(items)
+            if partition is None:
+                partition = self._partition(items)
             if not self._resident:
                 # ship current parent state once; from here on only the
                 # per-shard plans cross the pipes
@@ -444,6 +541,7 @@ class ShardedSketch(BatchIngest):
             )
             self._shards_stale = True
             return
+        partition = self._partition(items)
         tasks = [
             (shard, positions, owned, n, windowed, method)
             for shard, (positions, owned) in zip(self._shards, partition)

@@ -506,3 +506,77 @@ class TestCustomSamplerObjects:
         batch_feed(b, stream[:4000])
         assert a.full_updates == 4000 - 100
         assert memento_state(a) == memento_state(b)
+
+
+class TestIngestPlanOwnedEquivalence:
+    """The fused owned-packet consumer must equal the generic plan path.
+
+    ``ingest_plan_owned`` is what the sharding columnar (shm) lane calls
+    on each resident shard; its state must be byte-identical to feeding
+    the same unsampled plan through ``ingest_plan`` — otherwise results
+    would depend on the transport.
+    """
+
+    def scattered_plans(self, stream, seed=13):
+        from repro.core.kernel import plan_from_positions
+        import numpy as np
+
+        rng = np.random.default_rng(seed)
+        offset = 0
+        for chunk_len in (700, 1, 3000, 64, 2048, 17):
+            chunk = stream[offset : offset + chunk_len]
+            offset += chunk_len
+            keep = rng.random(len(chunk)) < 0.4
+            positions = np.flatnonzero(keep).astype(np.int64)
+            owned = [chunk[i] for i in positions.tolist()]
+            yield plan_from_positions(owned, positions, len(chunk))
+
+    @pytest.mark.parametrize("tau", [0.3, 1.0])
+    def test_memento_fused_equals_generic(self, stream, tau):
+        a = Memento(WINDOW, counters=COUNTERS, tau=tau, seed=5)
+        b = Memento(WINDOW, counters=COUNTERS, tau=tau, seed=5)
+        for plan in self.scattered_plans(stream):
+            a.ingest_plan_owned(plan)
+        for plan in self.scattered_plans(stream):
+            b.ingest_plan(plan)
+        assert a.updates == b.updates
+        assert a.full_updates == b.full_updates
+        assert memento_state(a) == memento_state(b)
+
+    def test_memento_dense_plan(self, stream):
+        from repro.core.kernel import dense_plan
+
+        a = Memento(WINDOW, counters=COUNTERS, tau=0.25, seed=8)
+        b = Memento(WINDOW, counters=COUNTERS, tau=0.25, seed=8)
+        chunk = stream[:3000]
+        a.ingest_plan_owned(dense_plan(chunk))
+        b.ingest_plan(dense_plan(chunk))
+        assert memento_state(a) == memento_state(b)
+
+    def test_memento_pure_gap_plan(self, stream):
+        from repro.core.kernel import plan_from_positions
+        import numpy as np
+
+        a = Memento(WINDOW, counters=COUNTERS, tau=0.25, seed=8)
+        b = Memento(WINDOW, counters=COUNTERS, tau=0.25, seed=8)
+        empty = plan_from_positions(
+            [], np.empty(0, dtype=np.int64), 500
+        )
+        a.ingest_plan_owned(empty)
+        b.ingest_plan(empty)
+        assert memento_state(a) == memento_state(b)
+
+    def test_base_class_default_delegates(self, stream):
+        # sketches without a fused override (the exact oracle) fall back
+        # to the generic consumer on the BatchIngest base class
+        from repro.core.kernel import plan_from_positions
+        import numpy as np
+
+        a = ExactWindowCounter(WINDOW)
+        b = ExactWindowCounter(WINDOW)
+        positions = np.arange(0, 2000, 7, dtype=np.int64)
+        owned = [stream[i] for i in positions.tolist()]
+        plan = plan_from_positions(owned, positions, 2000)
+        a.ingest_plan_owned(plan)
+        b.ingest_plan(plan)
+        assert sorted(a.entries()) == sorted(b.entries())

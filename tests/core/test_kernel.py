@@ -13,6 +13,7 @@ from repro.core.kernel import (
     IngestPlan,
     collapse_runs,
     dense_plan,
+    encode_items_column,
     make_plan,
     plan_from_positions,
 )
@@ -129,3 +130,63 @@ class TestCollapseRuns:
         assert collapse_runs(items) == expected
         # expansion reproduces the stream
         assert [k for k, c in collapse_runs(items) for _ in range(c)] == items
+
+
+class TestEncodeItemsColumn:
+    """Lossless fixed-width item columns for the shm transport.
+
+    The contract is strict: ``encoded.tolist()`` must reproduce the
+    input with *exact* Python types, or the encoder must return ``None``
+    (sending the caller to the pickle channel).  Silent coercion here
+    would make sketch state depend on the transport.
+    """
+
+    def test_int_column_round_trips(self):
+        items = [3, -7, 0, 2**40]
+        encoded = encode_items_column(items)
+        assert encoded is not None and encoded.dtype.kind == "i"
+        decoded = encoded.tolist()
+        assert decoded == items
+        assert all(type(x) is int for x in decoded)
+
+    def test_uint64_column(self):
+        items = [2**64 - 1, 2**63]
+        encoded = encode_items_column(items)
+        assert encoded is not None and encoded.dtype == np.uint64
+        assert encoded.tolist() == items
+
+    def test_mixed_magnitude_ints_rejected(self):
+        # numpy coerces [huge, small] to float64 — lossy, so: pickle lane
+        assert encode_items_column([2**64 - 1, 7]) is None
+
+    def test_str_column_round_trips(self):
+        items = ["alpha", "", "béta", "x" * 40]
+        encoded = encode_items_column(items)
+        assert encoded is not None and encoded.dtype.kind == "U"
+        decoded = encoded.tolist()
+        assert decoded == items
+        assert all(type(x) is str for x in decoded)
+
+    def test_bytes_column_round_trips(self):
+        items = [b"ab", b"", b"\x01\x02\x03"]
+        encoded = encode_items_column(items)
+        assert encoded is not None and encoded.dtype.kind == "S"
+        assert encoded.tolist() == items
+
+    def test_trailing_nul_rejected(self):
+        # numpy fixed-width strings strip trailing NULs — not lossless
+        assert encode_items_column(["ok", "bad\x00"]) is None
+        assert encode_items_column([b"ok", b"bad\x00"]) is None
+
+    def test_exact_type_probe(self):
+        # bool is an int subclass; np scalars compare equal to ints —
+        # both must miss the column (their round-trip changes the type)
+        assert encode_items_column([True, False]) is None
+        assert encode_items_column([1, True]) is None
+        assert encode_items_column([np.int64(1), np.int64(2)]) is None
+
+    def test_heterogeneous_and_empty(self):
+        assert encode_items_column([1, "a"]) is None
+        assert encode_items_column([1.5, 2.5]) is None
+        assert encode_items_column([]) is None
+        assert encode_items_column([("t",)]) is None

@@ -166,6 +166,21 @@ class TestValidation:
         with pytest.raises(ValueError):
             SketchSpec.from_dict(payload)
 
+    def test_bad_transport_name(self):
+        payload = spec_payload("memento", sharded=True)
+        payload["sharding"]["executor"] = "persistent"
+        payload["sharding"]["transport"] = "warp"
+        with pytest.raises(ValueError, match="transport must be one of"):
+            SketchSpec.from_dict(payload)
+
+    @pytest.mark.parametrize("executor", ["serial", "thread", "process"])
+    def test_transport_requires_persistent_executor(self, executor):
+        payload = spec_payload("memento", sharded=True)
+        payload["sharding"]["executor"] = executor
+        payload["sharding"]["transport"] = "shm"
+        with pytest.raises(ValueError, match="persistent-executor knob"):
+            SketchSpec.from_dict(payload)
+
     def test_invalid_json_text(self):
         with pytest.raises(ValueError, match="not valid JSON"):
             SketchSpec.from_json("{nope")
@@ -226,6 +241,51 @@ class TestPipelineSpecHelpers:
             sharded.update_many(["a", "a", "b"])
             assert sharded.query("a") == 2
         assert sharded._pipeline_config == PipelineConfig(buffer_size=64)
+
+
+class TestTransportKnob:
+    """The sharding section's plan-transport knob."""
+
+    @pytest.mark.parametrize("transport", ["pipe", "shm"])
+    def test_round_trips(self, transport):
+        payload = spec_payload("memento", sharded=True)
+        payload["sharding"]["executor"] = "persistent"
+        payload["sharding"]["transport"] = transport
+        spec = SketchSpec.from_dict(payload)
+        assert spec.sharding.transport == transport
+        assert SketchSpec.from_dict(spec.to_dict()) == spec
+        assert SketchSpec.from_json(spec.to_json()) == spec
+
+    def test_resolved_transport(self):
+        assert ShardingSpec().resolved_transport is None
+        assert ShardingSpec(executor="thread").resolved_transport is None
+        persistent = ShardingSpec(executor="persistent")
+        assert persistent.transport is None
+        assert persistent.resolved_transport == "pipe"
+        assert (
+            ShardingSpec(executor="persistent", transport="shm")
+            .resolved_transport
+            == "shm"
+        )
+
+    def test_facade_builds_transport_configured_executor(self):
+        from repro.sharding.executors import PersistentProcessExecutor
+
+        payload = spec_payload("memento", sharded=True)
+        payload["sharding"]["executor"] = "persistent"
+        payload["sharding"]["transport"] = "shm"
+        with build_engine(payload) as engine:
+            executor = engine.sketch._executor
+            assert isinstance(executor, PersistentProcessExecutor)
+            assert executor.transport == "shm"
+
+    def test_default_spec_leaves_transport_implicit(self):
+        # a persistent spec without the knob keeps the historic executor
+        # construction (name resolution, pipe transport)
+        payload = spec_payload("memento", sharded=True)
+        payload["sharding"]["executor"] = "persistent"
+        with build_engine(payload) as engine:
+            assert engine.sketch._executor.transport == "pipe"
 
 
 class TestCheckedInSpecFiles:

@@ -1,0 +1,383 @@
+"""Shared-memory plan transport: ring mechanics and shm ≡ pipe ≡ sync.
+
+The ring tests pin the SPSC slot protocol (wraparound, backpressure,
+oversize fallback, teardown).  The differential tests are the transport
+contract: a sharded sketch fed through the shm transport must finish
+with **identical state** (complete structural digest per shard,
+including sampler RNG state) to the pipe transport and to synchronous
+serial ingestion — results must never depend on how the plan travelled.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro import (
+    ExactWindowCounter,
+    Memento,
+    PersistentProcessExecutor,
+    ShardedSketch,
+    SpaceSaving,
+)
+from repro.sharding.shm import (
+    PlanRing,
+    leaked_segments,
+    rebuild_task,
+    split_task,
+)
+
+WINDOW = 96
+
+
+def memento_factory(i):
+    # tau < 1 exercises the sampled lane: the fused owned-plan consumer
+    # must stay RNG-identical to the generic path across transports
+    return Memento(window=WINDOW, counters=32, tau=0.25, seed=1 + i)
+
+
+def exact_factory(i):
+    return ExactWindowCounter(WINDOW)
+
+
+def make_stream(n=3000, universe=40, seed=17):
+    rng = random.Random(seed)
+    return [rng.randint(0, universe - 1) for _ in range(n)]
+
+
+def feed(sharded, stream, samples=(), chunk=257):
+    """Chunked batches + a few scalars + a pre-sampled batch."""
+    for start in range(0, len(stream), chunk):
+        sharded.update_many(stream[start : start + chunk])
+    for item in stream[:3]:
+        sharded.update(item)
+    if samples:
+        sharded.ingest_samples(list(samples))
+
+
+def memento_digest(m):
+    """Identity-insensitive structural digest of a Memento shard.
+
+    Raw ``pickle.dumps`` bytes are NOT comparable across transports:
+    equal strings that are the *same object* in the parent's queues
+    become distinct (equal) objects after a worker round-trip, shifting
+    pickle memo references without changing state.  The digest compares
+    the complete mutable state by value instead — window bookkeeping,
+    queues, the stream-summary chain, and the sampler's RNG state (the
+    sampled lane must consume draws identically on every transport).
+    """
+    chain = []
+    bucket = m._y._head
+    while bucket is not None:
+        chain.append((bucket.value, sorted(bucket.keys.items())))
+        bucket = bucket.next
+    return (
+        m._updates,
+        m._full_updates,
+        m._countdown,
+        m._blocks_into_frame,
+        dict(m._offsets),
+        [list(q) for q in m._queues],
+        chain,
+        sorted(m._y._index),
+        m._sampler._rng.bit_generator.state,
+    )
+
+
+def shard_states(sharded):
+    """Per-shard state digests (forces the resident sync first)."""
+    return [memento_digest(shard) for shard in sharded.shards]
+
+
+def _boom(shard, *args):
+    raise ValueError("boom")
+
+
+# ----------------------------------------------------------------------
+# ring mechanics
+# ----------------------------------------------------------------------
+class TestPlanRing:
+    def test_write_read_retire_round_trip(self):
+        ring = PlanRing(slots=4, slot_bytes=4096)
+        try:
+            cols = [
+                np.arange(7, dtype=np.int64),
+                np.array([2.5, -1.0]),
+                np.array(["ab", "c"], dtype="U2"),
+            ]
+            slot, layouts = ring.write(cols)
+            views = ring.read(slot, layouts)
+            for col, view in zip(cols, views):
+                assert view.dtype == col.dtype
+                assert np.array_equal(view, col)
+            assert ring.in_flight() == 1
+            ring.retire()
+            assert ring.in_flight() == 0
+        finally:
+            ring.close()
+
+    def test_wraparound_reuses_slots(self):
+        ring = PlanRing(slots=2, slot_bytes=1024)
+        try:
+            for round_ in range(7):
+                payload = np.full(16, round_, dtype=np.int64)
+                slot, layouts = ring.write([payload])
+                assert slot == round_ % 2
+                (view,) = ring.read(slot, layouts)
+                assert np.array_equal(view, payload)
+                del view
+                ring.retire()
+        finally:
+            ring.close()
+
+    def test_attach_sees_writes_and_retires(self):
+        ring = PlanRing(slots=2, slot_bytes=1024)
+        reader = PlanRing.attach(ring.name, slots=2, slot_bytes=1024)
+        try:
+            slot, layouts = ring.write([np.arange(5, dtype=np.uint64)])
+            (view,) = reader.read(slot, layouts)
+            assert view.tolist() == [0, 1, 2, 3, 4]
+            del view
+            assert ring.in_flight() == 1
+            reader.retire()  # consumer-side store ...
+            assert ring.in_flight() == 0  # ... visible to the producer
+        finally:
+            reader.close()
+            ring.close()
+
+    def test_oversized_payload_returns_none(self):
+        ring = PlanRing(slots=2, slot_bytes=64)
+        try:
+            assert ring.write([np.zeros(1000, dtype=np.int64)]) is None
+            # the ring is untouched: a fitting write still lands in slot 0
+            slot, _ = ring.write([np.zeros(4, dtype=np.int64)])
+            assert slot == 0
+        finally:
+            ring.close()
+
+    def test_backpressure_blocks_until_retire(self):
+        ring = PlanRing(slots=1, slot_bytes=1024)
+        try:
+            ring.write([np.arange(3)])
+
+            def consume():
+                time.sleep(0.05)
+                ring.retire()
+
+            thread = threading.Thread(target=consume)
+            thread.start()
+            # blocks on the full ring until the consumer thread retires
+            slot, _ = ring.write([np.arange(3)], timeout=5.0)
+            thread.join()
+            assert slot == 0 and ring.in_flight() == 1
+        finally:
+            ring.close()
+
+    def test_backpressure_timeout_raises(self):
+        ring = PlanRing(slots=1, slot_bytes=1024)
+        try:
+            ring.write([np.arange(3)])
+            with pytest.raises(RuntimeError, match="full"):
+                ring.write([np.arange(3)], timeout=0.05)
+        finally:
+            ring.close()
+
+    def test_close_unlinks_and_is_idempotent(self):
+        ring = PlanRing(slots=1, slot_bytes=256)
+        name = ring.name
+        assert name in leaked_segments()
+        ring.close()
+        ring.close()
+        assert name not in leaked_segments()
+        with pytest.raises(FileNotFoundError):
+            PlanRing.attach(name, slots=1, slot_bytes=256)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="slots"):
+            PlanRing(slots=0)
+        with pytest.raises(ValueError, match="slot_bytes"):
+            PlanRing(slots=1, slot_bytes=0)
+
+
+class TestSplitRebuild:
+    def roundtrip(self, task):
+        split = split_task(task)
+        assert split is not None
+        columns, recipe = split
+        ring = PlanRing(slots=1, slot_bytes=1 << 16)
+        try:
+            slot, layouts = ring.write(columns)
+            rebuilt = rebuild_task(ring.read(slot, layouts), recipe)
+            # materialize list/obj elements before the slot dies
+            return tuple(
+                arg.copy() if isinstance(arg, np.ndarray) else arg
+                for arg in rebuilt
+            )
+        finally:
+            ring.close()
+
+    def test_array_and_list_task(self):
+        positions = np.array([0, 3, 9], dtype=np.int64)
+        items = [5, -2, 2**40]
+        rebuilt = self.roundtrip((positions, items, 12))
+        assert np.array_equal(rebuilt[0], positions)
+        assert rebuilt[1] == items
+        assert all(type(x) is int for x in rebuilt[1])
+        assert rebuilt[2] == 12
+
+    def test_str_list_task(self):
+        rebuilt = self.roundtrip((["alpha", "b", ""],))
+        assert rebuilt == (["alpha", "b", ""],)
+        assert all(type(x) is str for x in rebuilt[0])
+
+    def test_unencodable_list_rides_inline(self):
+        mixed = [1, "x", None]
+        rebuilt = self.roundtrip((np.arange(2), mixed))
+        assert rebuilt[1] == mixed
+
+    def test_no_columns_returns_none(self):
+        assert split_task(("update_many", 7)) is None
+        assert split_task(()) is None
+        assert split_task(([1, "x"],)) is None  # unencodable list only
+
+
+# ----------------------------------------------------------------------
+# executor plumbing
+# ----------------------------------------------------------------------
+class TestExecutorTransportKnob:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="transport"):
+            PersistentProcessExecutor(transport="carrier_pigeon")
+        with pytest.raises(ValueError, match="ring_slots"):
+            PersistentProcessExecutor(transport="shm", ring_slots=0)
+        with pytest.raises(ValueError, match="ring_slot_bytes"):
+            PersistentProcessExecutor(transport="shm", ring_slot_bytes=-1)
+
+    def test_default_is_pipe(self):
+        executor = PersistentProcessExecutor()
+        assert executor.transport == "pipe"
+        executor.close()
+
+    def test_close_unlinks_rings(self):
+        executor = PersistentProcessExecutor(transport="shm")
+        executor.seed([SpaceSaving(8), SpaceSaving(8)])
+        assert len(leaked_segments()) == 2
+        executor.close()
+        assert leaked_segments() == []
+
+    def test_poisoned_worker_still_retires_slots(self):
+        # a failed apply must keep retiring ring slots, or the parent's
+        # backpressure wait would deadlock behind a poisoned worker
+        executor = PersistentProcessExecutor(
+            transport="shm", ring_slots=2, ring_slot_bytes=1 << 16
+        )
+        try:
+            executor.seed([SpaceSaving(8)])
+            for _ in range(5):  # > ring_slots: needs the poisoned retires
+                executor.submit(_boom, [([1, 2, 3],)])
+            with pytest.raises(RuntimeError, match="failed"):
+                executor.collect()
+        finally:
+            executor.close()
+        assert leaked_segments() == []
+
+
+# ----------------------------------------------------------------------
+# differential: the transport must not change sketch state
+# ----------------------------------------------------------------------
+class TestTransportDifferential:
+    def run_stack(self, factory, stream, executor="serial", samples=(),
+                  shards=3, **kwargs):
+        with ShardedSketch(
+            factory, shards=shards, executor=executor, **kwargs
+        ) as sharded:
+            feed(sharded, stream, samples=samples)
+            hh = sharded.heavy_hitters(0.05)
+            return shard_states(sharded), hh
+
+    def test_memento_shm_equals_pipe_equals_sync(self):
+        stream = make_stream()
+        samples = stream[100:140]
+        runs = {
+            name: self.run_stack(memento_factory, stream, executor, samples)
+            for name, executor in [
+                ("sync", "serial"),
+                ("pipe", PersistentProcessExecutor(transport="pipe")),
+                ("shm", PersistentProcessExecutor(transport="shm")),
+            ]
+        }
+        assert runs["shm"][0] == runs["pipe"][0] == runs["sync"][0]
+        assert runs["shm"][1] == runs["pipe"][1] == runs["sync"][1]
+        assert leaked_segments() == []
+
+    def test_exact_oracle_identity_under_shm(self):
+        stream = make_stream(n=2000)
+        oracle = ExactWindowCounter(WINDOW)
+        oracle.update_many(stream)
+        with ShardedSketch(
+            exact_factory,
+            shards=2,
+            executor=PersistentProcessExecutor(transport="shm"),
+        ) as sharded:
+            sharded.update_many(stream)
+            for key in set(stream):
+                assert sharded.query(key) == oracle.query(key)
+
+    def test_pipelined_shm_stack_equals_sync(self):
+        stream = make_stream(seed=29)
+        sync_states, sync_hh = self.run_stack(memento_factory, stream)
+        with ShardedSketch(
+            memento_factory,
+            shards=3,
+            executor=PersistentProcessExecutor(transport="shm"),
+            pipeline=64,
+        ) as sharded:
+            feed(sharded, stream)
+            assert sharded.heavy_hitters(0.05) == sync_hh
+            assert shard_states(sharded) == sync_states
+
+    def test_str_keys_ride_the_list_column(self):
+        # strings can't vectorize the partition, but the executor still
+        # encodes each shard's item list as a fixed-width ring column
+        rng = random.Random(31)
+        stream = [f"flow-{rng.randint(0, 30)}" for _ in range(2000)]
+        expect_states, expect_hh = self.run_stack(memento_factory, stream)
+        got_states, got_hh = self.run_stack(
+            memento_factory,
+            stream,
+            executor=PersistentProcessExecutor(transport="shm"),
+        )
+        assert got_states == expect_states
+        assert got_hh == expect_hh
+
+    def test_tiny_ring_wraparound_under_load(self):
+        # 2 slots << number of batches: every batch exercises reuse and
+        # real backpressure against the live worker
+        stream = make_stream(seed=43)
+        expect = self.run_stack(memento_factory, stream)
+        got = self.run_stack(
+            memento_factory,
+            stream,
+            executor=PersistentProcessExecutor(transport="shm", ring_slots=2),
+        )
+        assert got == expect
+
+    def test_oversize_slot_falls_back_to_pipe(self):
+        # slots too small for any batch column: every task takes the
+        # pickle fallback, results still identical
+        stream = make_stream(n=1500, seed=53)
+        expect = self.run_stack(memento_factory, stream, shards=2)
+        got = self.run_stack(
+            memento_factory,
+            stream,
+            executor=PersistentProcessExecutor(
+                transport="shm", ring_slot_bytes=32
+            ),
+            shards=2,
+        )
+        assert got == expect
+        assert leaked_segments() == []
