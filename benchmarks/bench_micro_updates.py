@@ -41,6 +41,7 @@ from repro import (
     generate_trace,
 )
 from repro.bench import BenchResult, bench, repo_root, write_results
+from repro.engine import SketchSpec
 from repro.traffic.synth import BACKBONE
 
 WINDOW = 8192
@@ -73,6 +74,79 @@ CASES: List[Tuple[str, Callable[[], object]]] = [
 #: cases whose batch path must show >= MIN_SPEEDUP in the standalone run
 GATED_CASES = ("memento_tau0.1", "space_saving")
 MIN_SPEEDUP = 2.0
+
+#: declarative spec of each case, recorded in every persisted row so a
+#: row reproduces from the JSON alone (registry-validated at import).
+CASE_SPECS: Dict[str, Dict[str, object]] = {
+    name: SketchSpec.from_dict(payload).to_dict()
+    for name, payload in (
+        ("space_saving", {"algorithm": {"family": "space_saving", "counters": 512}}),
+        ("exact_window", {"algorithm": {"family": "exact", "window": WINDOW}}),
+        (
+            "memento_tau1",
+            {
+                "algorithm": {
+                    "family": "memento",
+                    "window": WINDOW,
+                    "counters": 512,
+                    "tau": 1.0,
+                    "seed": 1,
+                }
+            },
+        ),
+        (
+            "memento_tau0.1",
+            {
+                "algorithm": {
+                    "family": "memento",
+                    "window": WINDOW,
+                    "counters": 512,
+                    "tau": 0.1,
+                    "seed": 1,
+                }
+            },
+        ),
+        (
+            "memento_tau2^-10",
+            {
+                "algorithm": {
+                    "family": "memento",
+                    "window": WINDOW,
+                    "counters": 512,
+                    "tau": 2**-10,
+                    "seed": 1,
+                }
+            },
+        ),
+        (
+            "hmemento_tau0.25",
+            {
+                "algorithm": {
+                    "family": "h_memento",
+                    "window": WINDOW,
+                    "counters": 512,
+                    "tau": 0.25,
+                    "seed": 1,
+                },
+                "hierarchy": {"kind": "src"},
+            },
+        ),
+        (
+            "mst",
+            {
+                "algorithm": {"family": "mst", "counters": 128},
+                "hierarchy": {"kind": "src"},
+            },
+        ),
+        (
+            "rhhh",
+            {
+                "algorithm": {"family": "rhhh", "counters": 128, "seed": 1},
+                "hierarchy": {"kind": "src"},
+            },
+        ),
+    )
+}
 
 
 def make_stream(n: int = N) -> list:
@@ -110,7 +184,12 @@ def run_harness(
             ops=n,
             warmup=warmup,
             repeats=repeats,
-            metadata={"path": "scalar", "case": name},
+            metadata={
+                "path": "scalar",
+                "case": name,
+                "spec": CASE_SPECS[name],
+                "transport": None,
+            },
         )
         batch = bench(
             lambda: drive_batch(factory(), stream),
@@ -118,7 +197,13 @@ def run_harness(
             ops=n,
             warmup=warmup,
             repeats=repeats,
-            metadata={"path": "batch", "case": name, "chunk": CHUNK},
+            metadata={
+                "path": "batch",
+                "case": name,
+                "chunk": CHUNK,
+                "spec": CASE_SPECS[name],
+                "transport": None,
+            },
         )
         results.extend((scalar, batch))
         speedups[name] = batch.ops_per_sec / scalar.ops_per_sec

@@ -119,12 +119,12 @@ def drive_batch(algorithm, stream, chunk: int = CHUNK):
 def critical_path_seconds(factory, shards: int, stream) -> Tuple[float, float]:
     """(total shard apply time, slowest shard apply time) for one pass."""
     executor = TimingSerialExecutor()
-    sharded = ShardedSketch(factory, shards=shards, executor=executor)
-    per_shard = [0.0] * shards
-    for start in range(0, len(stream), CHUNK):
-        sharded.update_many(stream[start : start + CHUNK])
-        for idx, seconds in enumerate(executor.task_seconds):
-            per_shard[idx] += seconds
+    with ShardedSketch(factory, shards=shards, executor=executor) as sharded:
+        per_shard = [0.0] * shards
+        for start in range(0, len(stream), CHUNK):
+            sharded.update_many(stream[start : start + CHUNK])
+            for idx, seconds in enumerate(executor.task_seconds):
+                per_shard[idx] += seconds
     if shards == 1:
         # the 1-shard fast path bypasses the executor entirely
         return (0.0, 0.0)

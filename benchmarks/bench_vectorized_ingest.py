@@ -61,6 +61,7 @@ from repro import (
 )
 from repro.bench import BenchResult, repo_root, write_results
 from repro.core.kernel import dense_plan
+from repro.engine import SketchSpec
 from repro.traffic.synth import BACKBONE
 
 #: micro-case geometry: W/k = 256-packet blocks (paper-scale), the
@@ -174,9 +175,84 @@ CASES: List[Tuple[str, Callable[[], object], Callable, str]] = [
 ]
 
 
+#: declarative spec of each micro case, recorded in every persisted row
+#: (registry-validated at import); the grouped variant shares its base
+#: case's spec — the stream shape rides in the row's ``stream`` key.
+CASE_SPECS: Dict[str, Dict[str, object]] = {
+    name: SketchSpec.from_dict(payload).to_dict()
+    for name, payload in (
+        (
+            "memento_tau0.1",
+            {
+                "algorithm": {
+                    "family": "memento",
+                    "window": WINDOW,
+                    "counters": COUNTERS,
+                    "tau": 0.1,
+                    "seed": 1,
+                }
+            },
+        ),
+        (
+            "memento_tau2^-10",
+            {
+                "algorithm": {
+                    "family": "memento",
+                    "window": WINDOW,
+                    "counters": COUNTERS,
+                    "tau": 2**-10,
+                    "seed": 1,
+                }
+            },
+        ),
+        (
+            "hmemento_tau0.25",
+            {
+                "algorithm": {
+                    "family": "h_memento",
+                    "window": WINDOW,
+                    "counters": 320,
+                    "tau": 0.25,
+                    "seed": 1,
+                },
+                "hierarchy": {"kind": "src"},
+            },
+        ),
+        (
+            "rhhh",
+            {
+                "algorithm": {"family": "rhhh", "counters": 128, "seed": 1},
+                "hierarchy": {"kind": "src"},
+            },
+        ),
+        ("space_saving", {"algorithm": {"family": "space_saving", "counters": 512}}),
+        (
+            "space_saving_grouped",
+            {"algorithm": {"family": "space_saving", "counters": 512}},
+        ),
+    )
+}
+
+
 def exec_factory(i: int) -> Memento:
     return Memento(
         window=EXEC_WINDOW, counters=EXEC_COUNTERS, tau=0.1, seed=1 + i
+    )
+
+
+def exec_spec(executor: str, shards: int) -> SketchSpec:
+    """The declarative spec of one executor-scaling deployment."""
+    return SketchSpec.from_dict(
+        {
+            "algorithm": {
+                "family": "memento",
+                "window": EXEC_WINDOW,
+                "counters": EXEC_COUNTERS,
+                "tau": 0.1,
+                "seed": 1,
+            },
+            "sharding": {"shards": shards, "executor": executor},
+        }
     )
 
 
@@ -259,6 +335,8 @@ def run_harness(
                     "chunk": CHUNK,
                     "stream": variant,
                     "interleaved": True,
+                    "spec": CASE_SPECS[name],
+                    "transport": None,
                 },
             )
             results.append(result)
@@ -277,6 +355,7 @@ def run_harness(
             seconds = time_executor(executor, shards, exec_stream, repeats)
             ops_per_sec = exec_n / seconds
             row[executor] = ops_per_sec
+            spec = exec_spec(executor, shards)
             results.append(
                 BenchResult(
                     name=f"executor_{executor}/shards{shards}",
@@ -290,6 +369,8 @@ def run_harness(
                         "shards": shards,
                         "chunk": CHUNK,
                         "case": "memento_tau0.1_exec",
+                        "spec": spec.to_dict(),
+                        "transport": spec.sharding.resolved_transport,
                     },
                 )
             )

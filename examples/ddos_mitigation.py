@@ -53,7 +53,7 @@ def main() -> None:
     )
 
     # --- measurement plane: Batch transport within 1 B/packet ---
-    system = NetwideSystem(
+    with NetwideSystem(
         NetwideConfig(
             points=POINTS,
             method="batch",
@@ -63,51 +63,51 @@ def main() -> None:
             hierarchy=SRC_HIERARCHY,
             seed=9,
         )
-    )
-    print(
-        f"transport: batch={system.batch_size} samples/report, "
-        f"tau={system.tau:.4f}"
-    )
-
-    # --- frontends + mitigation loop ---
-    balancers = [
-        LoadBalancer(
-            f"lb-{i}",
-            pool=BackendPool([Backend(j, capacity=5000) for j in range(4)]),
+    ) as system:
+        print(
+            f"transport: batch={system.batch_size} samples/report, "
+            f"tau={system.tau:.4f}"
         )
-        for i in range(POINTS)
-    ]
-    mitigation = MitigationSystem(
-        system,
-        balancers,
-        theta=THETA,
-        action=AclAction.DENY,
-        check_interval=1000,
-    )
 
-    report = mitigation.run(flood.src, flood.is_attack)
+        # --- frontends + mitigation loop ---
+        balancers = [
+            LoadBalancer(
+                f"lb-{i}",
+                pool=BackendPool([Backend(j, capacity=5000) for j in range(4)]),
+            )
+            for i in range(POINTS)
+        ]
+        mitigation = MitigationSystem(
+            system,
+            balancers,
+            theta=THETA,
+            action=AclAction.DENY,
+            check_interval=1000,
+        )
 
-    # --- results ---
-    detected_flood = sorted(
-        (when, prefix)
-        for prefix, when in report.detections.items()
-        if prefix in flood.subnet_set()
-    )
-    print(f"\ndetected {len(detected_flood)}/{len(flood.subnets)} flooding "
-          f"subnets; first detections:")
-    for when, prefix in detected_flood[:8]:
-        print(f"  {prefix_str(prefix):>8}  at request {when:>7}  "
-              f"(+{when - flood.start_index} after flood start)")
+        report = mitigation.run(flood.src, flood.is_attack)
 
-    print(f"\nblocked requests:        {report.blocked_requests:>8}")
-    print(f"leaked attack requests:  {report.leaked_attack_requests:>8} "
-          f"({report.leak_fraction:.1%} of the attack)")
-    byte_cost = system.bytes_sent / max(1, report.total_requests)
-    print(f"control-plane bandwidth: {byte_cost:.3f} bytes/request "
-          f"(budget: 1.0)")
+        # --- results ---
+        detected_flood = sorted(
+            (when, prefix)
+            for prefix, when in report.detections.items()
+            if prefix in flood.subnet_set()
+        )
+        print(f"\ndetected {len(detected_flood)}/{len(flood.subnets)} flooding "
+              f"subnets; first detections:")
+        for when, prefix in detected_flood[:8]:
+            print(f"  {prefix_str(prefix):>8}  at request {when:>7}  "
+                  f"(+{when - flood.start_index} after flood start)")
 
-    per_lb = sum(b.stats.denied for b in balancers)
-    print(f"ACL denials across the fleet: {per_lb}")
+        print(f"\nblocked requests:        {report.blocked_requests:>8}")
+        print(f"leaked attack requests:  {report.leaked_attack_requests:>8} "
+              f"({report.leak_fraction:.1%} of the attack)")
+        byte_cost = system.bytes_sent / max(1, report.total_requests)
+        print(f"control-plane bandwidth: {byte_cost:.3f} bytes/request "
+              f"(budget: 1.0)")
+
+        per_lb = sum(b.stats.denied for b in balancers)
+        print(f"ACL denials across the fleet: {per_lb}")
 
 
 if __name__ == "__main__":

@@ -82,7 +82,7 @@ def main() -> None:
     # ------------------------------------------------------------------
     # 3. the controller's live view with the winning transport
     # ------------------------------------------------------------------
-    system = NetwideSystem(
+    with NetwideSystem(
         NetwideConfig(
             points=POINTS,
             method="batch",
@@ -92,15 +92,15 @@ def main() -> None:
             hierarchy=SRC_HIERARCHY,
             seed=13,
         )
-    )
-    for i, packet in enumerate(stream):
-        system.offer(i % POINTS, packet)
-    print("\nnetwork-wide heavy subnets (/8, >2% of the global window):")
-    for prefix in sorted(system.detected_subnets(theta=0.02, subnet_bits=8)):
-        print(
-            f"  {prefix_str(prefix):>8}  "
-            f"~{system.query_point(prefix):8.0f} pkts in the last {WINDOW}"
-        )
+    ) as system:
+        for i, packet in enumerate(stream):
+            system.offer(i % POINTS, packet)
+        print("\nnetwork-wide heavy subnets (/8, >2% of the global window):")
+        for prefix in sorted(system.detected_subnets(theta=0.02, subnet_bits=8)):
+            print(
+                f"  {prefix_str(prefix):>8}  "
+                f"~{system.query_point(prefix):8.0f} pkts in the last {WINDOW}"
+            )
 
 
 if __name__ == "__main__":

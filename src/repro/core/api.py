@@ -45,6 +45,7 @@ from typing import (
     List,
     Optional,
     Protocol,
+    Sequence,
     Tuple,
     runtime_checkable,
 )
@@ -76,13 +77,15 @@ class SlidingSketch(Protocol):
     the contract pinned by ``tests/core/test_batch_equivalence.py``.
     """
 
-    def update(self, item) -> None: ...
+    def update(self, item: Hashable) -> None: ...
 
-    def update_many(self, items) -> None: ...
+    def update_many(self, items: Sequence[Hashable]) -> None: ...
 
-    def extend(self, iterable: Iterable, chunk_size: int = 4096) -> None: ...
+    def extend(
+        self, iterable: Iterable[Hashable], chunk_size: int = 4096
+    ) -> None: ...
 
-    def query(self, item) -> float: ...
+    def query(self, item: Hashable) -> float: ...
 
 
 @runtime_checkable
@@ -131,9 +134,9 @@ class WindowedSketch(SlidingSketch, Protocol):
 
     def ingest_gap(self, count: int) -> None: ...
 
-    def ingest_sample(self, item) -> None: ...
+    def ingest_sample(self, item: Hashable) -> None: ...
 
-    def ingest_samples(self, items) -> None: ...
+    def ingest_samples(self, items: Sequence[Hashable]) -> None: ...
 
 
 @dataclass(frozen=True)

@@ -194,6 +194,7 @@ class ExactWindowCounter(BatchIngest):
         return len(self._counts)
 
 
+# replint: not-an-algorithm (differential oracle for interval schemes, not a registrable family)
 class ExactIntervalCounter(BatchIngest):
     """Exact counter over reset-delimited intervals (the Interval method).
 
@@ -277,6 +278,7 @@ class ExactIntervalCounter(BatchIngest):
         return {k: v for k, v in self._last.items() if v > bar}
 
 
+# replint: not-an-algorithm (exact HHH oracle for accuracy tests, not a registrable family)
 class ExactWindowHHH(BatchIngest):
     """Exact window frequencies for every prefix of a hierarchy.
 

@@ -23,6 +23,7 @@ from typing import Callable, Hashable, Optional
 __all__ = ["IntervalScheme"]
 
 
+# replint: not-an-algorithm (wrapper combinator over a hosted sketch; spec shape is the host's)
 class IntervalScheme:
     """Roll a streaming algorithm over fixed-length intervals.
 

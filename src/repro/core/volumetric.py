@@ -47,6 +47,7 @@ class VolumetricSpaceSaving(SpaceSaving):
         self.add(key, weight=size)
 
 
+# replint: not-an-algorithm (byte-volume variant with a packet+size update signature the registry does not model)
 class VolumetricMemento:
     """Byte-volume heavy hitters over a sliding window of ``W`` packets.
 

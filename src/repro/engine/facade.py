@@ -31,8 +31,21 @@ as the equivalent explicit construction under a fixed seed — pinned by
 from __future__ import annotations
 
 from pathlib import Path
-from typing import Dict, Hashable, Iterable, List, Optional, Tuple, Union
+from typing import (
+    Any,
+    Dict,
+    FrozenSet,
+    Hashable,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+    Union,
+)
 
+from ..core.api import Entry
 from ..hierarchy.domain import Hierarchy
 from ..sharding.sharded import ShardedSketch
 from .registry import AlgorithmInfo, algorithm_info
@@ -89,7 +102,7 @@ class HeavyHitterEngine:
     """
 
     def __init__(
-        self, sketch, spec: SketchSpec, info: AlgorithmInfo
+        self, sketch: Any, spec: SketchSpec, info: AlgorithmInfo
     ) -> None:
         self._sketch = sketch
         self._spec = spec
@@ -126,7 +139,7 @@ class HeavyHitterEngine:
             # prefix queries span routing shards; flat keys route cleanly
             query_mode = "sum" if info.hierarchical else "route"
 
-        def factory(shard_id: int):
+        def factory(shard_id: int) -> object:
             return info.factory(spec.algorithm, hierarchy, shard_id)
 
         executor: object = sharding.executor
@@ -158,12 +171,12 @@ class HeavyHitterEngine:
         return self._spec
 
     @property
-    def sketch(self):
+    def sketch(self) -> Any:
         """The composed sketch stack (bare sketch or ShardedSketch)."""
         return self._sketch
 
     @property
-    def capabilities(self) -> frozenset:
+    def capabilities(self) -> FrozenSet[str]:
         """The algorithm family's declared capability set."""
         return self._info.capabilities
 
@@ -210,11 +223,13 @@ class HeavyHitterEngine:
         """Ingest one item."""
         self._sketch.update(item)
 
-    def update_many(self, items) -> None:
+    def update_many(self, items: Sequence[Hashable]) -> None:
         """Ingest a materialized batch (list/tuple fast path)."""
         self._sketch.update_many(items)
 
-    def extend(self, iterable: Iterable, chunk_size: int = 4096) -> None:
+    def extend(
+        self, iterable: Iterable[Hashable], chunk_size: int = 4096
+    ) -> None:
         """Ingest any iterable in chunks."""
         self._sketch.extend(iterable, chunk_size=chunk_size)
 
@@ -233,7 +248,7 @@ class HeavyHitterEngine:
         """The ``k`` largest tracked keys as ``(key, estimate)`` pairs."""
         return self._sketch.top_k(k)
 
-    def entries(self):
+    def entries(self) -> List[Entry]:
         """The mergeable ``(key, estimate, guaranteed)`` snapshot."""
         return self._sketch.entries()
 
@@ -248,11 +263,11 @@ class HeavyHitterEngine:
         """Full update for one externally-sampled packet."""
         self._sketch.ingest_sample(item)
 
-    def ingest_samples(self, items) -> None:
+    def ingest_samples(self, items: Sequence[Hashable]) -> None:
         """Full updates for a batch of externally-sampled packets."""
         self._sketch.ingest_samples(items)
 
-    def candidates(self):
+    def candidates(self) -> List[Hashable]:
         """Keys/prefixes the sketch currently tracks."""
         candidates = getattr(self._sketch, "candidates", None)
         if candidates is not None:
@@ -281,7 +296,7 @@ class HeavyHitterEngine:
             return heavy_prefixes(theta)
         return self._sketch.heavy_hitters(theta)
 
-    def output(self, theta: float):
+    def output(self, theta: float) -> Set[Hashable]:
         """The HHH output set (hierarchical) or the heavy-hitter keys."""
         output = getattr(self._sketch, "output", None)
         if output is not None:
@@ -307,13 +322,13 @@ class HeavyHitterEngine:
     def __enter__(self) -> "HeavyHitterEngine":
         return self
 
-    def __exit__(self, *exc) -> None:
+    def __exit__(self, *exc: object) -> None:
         self.close()
 
     # ------------------------------------------------------------------
     # compatibility passthrough
     # ------------------------------------------------------------------
-    def __getattr__(self, name: str):
+    def __getattr__(self, name: str) -> Any:
         """Delegate anything else to the wrapped sketch.
 
         The unified surface above is the stable API; the passthrough

@@ -36,7 +36,19 @@ window=...))`` validates, serializes, and builds like any other family.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, FrozenSet, Optional, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Callable,
+    Dict,
+    FrozenSet,
+    Iterable,
+    Optional,
+    Tuple,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - import for type checkers only
+    from .spec import SketchSpec
 
 from ..core.api import (
     MergeableSketch,
@@ -123,7 +135,7 @@ class AlgorithmInfo:
         """Whether instances answer prefix queries over a hierarchy."""
         return "hierarchical" in self.capabilities
 
-    def validate_spec(self, spec) -> None:
+    def validate_spec(self, spec: "SketchSpec") -> None:
         """Parse-time validation of a :class:`SketchSpec` for this family."""
         algo = spec.algorithm
         name = self.name
@@ -163,7 +175,7 @@ _REGISTRY: Dict[str, AlgorithmInfo] = {}
 def register_algorithm(
     name: str,
     factory: Callable[[object, Optional[Hierarchy], Optional[int]], object],
-    capabilities,
+    capabilities: Iterable[str],
     *,
     needs_window: bool = False,
     needs_hierarchy: bool = False,
@@ -224,7 +236,9 @@ def registered_algorithms() -> Tuple[str, ...]:
 # ----------------------------------------------------------------------
 # built-in families
 # ----------------------------------------------------------------------
-def _build_memento(spec, hierarchy, shard_id):
+def _build_memento(
+    spec: Any, hierarchy: Optional[Hierarchy], shard_id: Optional[int]
+) -> Memento:
     return Memento(
         window=spec.window,
         counters=spec.counters,
@@ -235,7 +249,9 @@ def _build_memento(spec, hierarchy, shard_id):
     )
 
 
-def _build_h_memento(spec, hierarchy, shard_id):
+def _build_h_memento(
+    spec: Any, hierarchy: Optional[Hierarchy], shard_id: Optional[int]
+) -> HMemento:
     return HMemento(
         window=spec.window,
         hierarchy=hierarchy,
@@ -248,21 +264,29 @@ def _build_h_memento(spec, hierarchy, shard_id):
     )
 
 
-def _build_space_saving(spec, hierarchy, shard_id):
+def _build_space_saving(
+    spec: Any, hierarchy: Optional[Hierarchy], shard_id: Optional[int]
+) -> SpaceSaving:
     return SpaceSaving(spec.counters)
 
 
-def _build_mst(spec, hierarchy, shard_id):
+def _build_mst(
+    spec: Any, hierarchy: Optional[Hierarchy], shard_id: Optional[int]
+) -> MST:
     return MST(hierarchy, counters=spec.counters, epsilon=spec.epsilon)
 
 
-def _build_window_baseline(spec, hierarchy, shard_id):
+def _build_window_baseline(
+    spec: Any, hierarchy: Optional[Hierarchy], shard_id: Optional[int]
+) -> WindowBaseline:
     return WindowBaseline(
         hierarchy, spec.window, counters=spec.counters, epsilon=spec.epsilon
     )
 
 
-def _build_rhhh(spec, hierarchy, shard_id):
+def _build_rhhh(
+    spec: Any, hierarchy: Optional[Hierarchy], shard_id: Optional[int]
+) -> RHHH:
     return RHHH(
         hierarchy,
         counters=spec.counters,
@@ -273,7 +297,9 @@ def _build_rhhh(spec, hierarchy, shard_id):
     )
 
 
-def _build_exact(spec, hierarchy, shard_id):
+def _build_exact(
+    spec: Any, hierarchy: Optional[Hierarchy], shard_id: Optional[int]
+) -> ExactWindowCounter:
     return ExactWindowCounter(spec.window)
 
 

@@ -39,7 +39,7 @@ import dataclasses
 import json
 from dataclasses import dataclass, fields
 from pathlib import Path
-from typing import Dict, Optional, Union
+from typing import Dict, Optional, Type, TypeVar, Union
 
 from ..hierarchy.domain import SRC_DST_HIERARCHY, SRC_HIERARCHY, Hierarchy
 from ..sharding.executors import _EXECUTORS, TRANSPORTS
@@ -68,7 +68,12 @@ NAMED_HIERARCHIES: Dict[str, Hierarchy] = {
 EXECUTOR_NAMES = tuple(sorted(_EXECUTORS))
 
 
-def _check_positive(name: str, value, allow_none: bool = True) -> None:
+_SectionT = TypeVar("_SectionT")
+
+
+def _check_positive(
+    name: str, value: Optional[float], allow_none: bool = True
+) -> None:
     if value is None:
         if not allow_none:
             raise ValueError(f"{name} is required")
@@ -77,11 +82,13 @@ def _check_positive(name: str, value, allow_none: bool = True) -> None:
         raise ValueError(f"{name} must be positive, got {value}")
 
 
-def _from_section(cls, payload: object, where: str):
+def _from_section(
+    cls: Type[_SectionT], payload: object, where: str
+) -> _SectionT:
     """Build a section dataclass from a dict, rejecting unknown keys."""
     if not isinstance(payload, dict):
         raise ValueError(f"{where} must be an object, got {type(payload).__name__}")
-    known = {f.name for f in fields(cls)}
+    known = {f.name for f in fields(cls)}  # type: ignore[arg-type]
     unknown = sorted(set(payload) - known)
     if unknown:
         raise ValueError(

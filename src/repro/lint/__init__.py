@@ -1,0 +1,58 @@
+"""``repro-lint``: AST-based static enforcement of the standing invariants.
+
+ROADMAP's "Standing invariants" are prose until something checks them;
+this package turns the checkable ones into per-code lint rules that run
+in milliseconds, before any worker process exists:
+
+==========  ==========================================================
+``RL001``   lifecycle — engines/executors/systems built outside the
+            ``repro`` internals use ``with`` or a reachable ``close()``
+``RL002``   no raw ``multiprocessing.Process`` /
+            ``shared_memory.SharedMemory`` outside ``repro/sharding/``
+``RL003``   registry honesty — declared capability sets match the
+            protocol methods statically present on the sketch class
+``RL004``   shm-ring discipline — only ``PlanRing`` unlinks segments
+            or touches raw ``.buf`` buffers
+``RL005``   no ``hasattr`` capability sniffing in engine/sharding/
+            netwide layers
+``RL006``   bench scripts record ``spec``/``transport`` metadata in
+            every persisted row
+==========  ==========================================================
+
+``RL000`` is the meta code: malformed, unjustified, unknown, or unused
+``# replint:`` directives.  Suppress a finding with a justified inline
+comment — ``# replint: disable=RL001 (reason)`` — and opt a class out
+of RL003 with ``# replint: not-an-algorithm (reason)``.
+
+Run it as ``repro-lint src benchmarks`` (console script),
+``python -m repro.lint``, or programmatically:
+
+>>> from pathlib import Path
+>>> from repro.lint import lint_paths
+>>> lint_paths([Path("no/such/dir")]).exit_code
+0
+"""
+
+from .core import (
+    Finding,
+    LintResult,
+    ModuleInfo,
+    Rule,
+    all_rules,
+    lint_paths,
+    register_rule,
+)
+from .report import render_json, render_text
+from . import rules as _rules  # noqa: F401  (registers the built-in rules)
+
+__all__ = [
+    "Finding",
+    "LintResult",
+    "ModuleInfo",
+    "Rule",
+    "all_rules",
+    "lint_paths",
+    "register_rule",
+    "render_json",
+    "render_text",
+]

@@ -1,0 +1,88 @@
+"""The ``repro-lint`` command-line entry point.
+
+Usage::
+
+    repro-lint [paths ...] [--format text|json] [--select RL001,RL005]
+               [--list-rules] [--show-suppressed]
+
+Paths default to ``src``; directories expand to every non-hidden
+``.py`` file beneath them.  Exit status is ``0`` when no findings
+survive suppression, ``1`` otherwise (argparse exits ``2`` on usage
+errors), so the command gates CI directly.
+"""
+
+from __future__ import annotations
+
+import argparse
+from pathlib import Path
+from typing import List, Optional, Set
+
+from .core import RULES, lint_paths
+from .report import describe_rules, render_json, render_text
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse parser (exposed for ``--help`` doc tooling)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description=(
+            "AST-based invariant linter for the repro codebase: lifecycle "
+            "(RL001), raw multiprocessing (RL002), registry honesty "
+            "(RL003), shm-ring discipline (RL004), hasattr sniffing "
+            "(RL005), bench metadata (RL006)."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--select",
+        default=None,
+        metavar="CODES",
+        help="comma-separated rule codes to run (default: all)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the registered rules and exit",
+    )
+    parser.add_argument(
+        "--show-suppressed",
+        action="store_true",
+        help="also print findings silenced by replint disables",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Run the linter; returns the process exit status."""
+    from . import rules as _rules  # noqa: F401  (registers the rules)
+
+    parser = build_parser()
+    options = parser.parse_args(argv)
+    if options.list_rules:
+        print(describe_rules())
+        return 0
+    select: Optional[Set[str]] = None
+    if options.select:
+        select = {code.strip() for code in options.select.split(",") if code.strip()}
+        unknown = sorted(select - RULES.keys())
+        if unknown:
+            parser.error(f"unknown rule code(s): {', '.join(unknown)}")
+    result = lint_paths([Path(p) for p in options.paths], select=select)
+    if options.format == "json":
+        print(render_json(result))
+    else:
+        print(render_text(result, verbose=options.show_suppressed))
+    return result.exit_code

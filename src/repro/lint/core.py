@@ -1,0 +1,428 @@
+"""The ``repro-lint`` engine: findings, directives, rules, and the runner.
+
+This module is deliberately self-contained (stdlib only) so the linter
+can gate CI before any heavyweight import happens.  It provides:
+
+* :class:`Finding` — one diagnostic, sortable and JSON-serializable.
+* :class:`ModuleInfo` — a parsed module: source, AST, and the
+  ``# replint:`` directives extracted from its comment tokens.
+* :class:`Rule` + :func:`register_rule` — the rule registry; concrete
+  rules live in :mod:`repro.lint.rules`.
+* :func:`lint_paths` — the runner: collect files, build the
+  cross-module :class:`~repro.lint.project.ProjectIndex`, run every
+  rule, apply suppressions, and emit the ``RL000`` meta findings that
+  keep the suppressions themselves honest.
+
+Directive grammar (comment tokens only — strings never match)::
+
+    # replint: disable=RL001 (justification text)
+    # replint: disable=RL001,RL005 (shared justification)
+    # replint: not-an-algorithm (justification text)
+
+``disable`` suppresses the listed rule codes on that physical line and
+must carry a justification; ``not-an-algorithm`` is the sanctioned
+opt-out the RL003 registry-honesty rule honours on a class definition
+line (or the line directly above it).  Unjustified, unknown, or unused
+directives are themselves reported as ``RL000``.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+    Type,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - import for type checkers only
+    from .project import ProjectIndex
+
+__all__ = [
+    "META_CODE",
+    "Finding",
+    "Suppression",
+    "OptOut",
+    "ModuleInfo",
+    "Rule",
+    "register_rule",
+    "all_rules",
+    "parse_module",
+    "iter_python_files",
+    "lint_paths",
+    "LintResult",
+]
+
+#: Code for lint-meta diagnostics (malformed/unjustified/unused
+#: directives, unparsable files).  Not suppressible.
+META_CODE = "RL000"
+
+_DIRECTIVE_RE = re.compile(r"#\s*replint\s*:\s*(?P<body>.*)$")
+_DISABLE_RE = re.compile(
+    r"disable\s*=\s*(?P<codes>RL\d{3}(?:\s*,\s*RL\d{3})*)\s*(?P<rest>.*)$"
+)
+_OPTOUT_RE = re.compile(r"not-an-algorithm\b\s*(?P<rest>.*)$")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One diagnostic: a rule code anchored to a file position."""
+
+    code: str
+    message: str
+    path: str
+    line: int
+    col: int = 0
+
+    def sort_key(self) -> Tuple[str, int, int, str]:
+        return (self.path, self.line, self.col, self.code)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "code": self.code,
+            "message": self.message,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+        }
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
+
+
+@dataclass
+class Suppression:
+    """A ``# replint: disable=...`` directive on one physical line."""
+
+    line: int
+    codes: Tuple[str, ...]
+    justification: str
+    used: Set[str] = field(default_factory=set)
+
+
+@dataclass
+class OptOut:
+    """A ``# replint: not-an-algorithm`` opt-out marker."""
+
+    line: int
+    justification: str
+
+
+def _strip_justification(rest: str) -> str:
+    """Normalize the free text after a directive into a justification."""
+    text = rest.strip()
+    while text and text[0] in "-—:;,(":
+        text = text[1:].lstrip()
+    if text.endswith(")"):
+        text = text[:-1].rstrip()
+    return text
+
+
+@dataclass
+class ModuleInfo:
+    """A parsed source module plus its extracted lint directives."""
+
+    path: Path
+    display: str
+    source: str
+    tree: ast.Module
+    dotted: str
+    is_package: bool
+    suppressions: Dict[int, Suppression] = field(default_factory=dict)
+    optouts: Dict[int, OptOut] = field(default_factory=dict)
+    directive_problems: List[Finding] = field(default_factory=list)
+
+    def in_dir(self, fragment: str) -> bool:
+        """True when ``fragment`` appears as a directory run in the path.
+
+        ``fragment`` uses posix separators, e.g. ``"repro/sharding"``.
+        """
+        return f"/{fragment}/" in f"/{self.display}/"
+
+    def is_file(self, fragment: str) -> bool:
+        """True when the module path ends with ``fragment`` (posix)."""
+        return self.display == fragment or self.display.endswith("/" + fragment)
+
+
+def _module_dotted(path: Path) -> Tuple[str, bool]:
+    """Derive the dotted module name by ascending ``__init__.py`` parents."""
+    parts: List[str] = []
+    is_package = path.name == "__init__.py"
+    if not is_package:
+        parts.append(path.stem)
+    parent = path.parent
+    while (parent / "__init__.py").exists():
+        parts.append(parent.name)
+        parent = parent.parent
+    return ".".join(reversed(parts)), is_package
+
+
+def _extract_directives(module: ModuleInfo) -> None:
+    """Populate suppressions/opt-outs from the module's comment tokens."""
+    try:
+        tokens = list(
+            tokenize.generate_tokens(io.StringIO(module.source).readline)
+        )
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        return  # the AST parsed, so this is a pathological edge; skip
+    for tok in tokens:
+        if tok.type != tokenize.COMMENT:
+            continue
+        match = _DIRECTIVE_RE.search(tok.string)
+        if match is None:
+            continue
+        line = tok.start[0]
+        body = match.group("body").strip()
+        disable = _DISABLE_RE.match(body)
+        if disable is not None:
+            codes = tuple(
+                code.strip() for code in disable.group("codes").split(",")
+            )
+            module.suppressions[line] = Suppression(
+                line=line,
+                codes=codes,
+                justification=_strip_justification(disable.group("rest")),
+            )
+            continue
+        optout = _OPTOUT_RE.match(body)
+        if optout is not None:
+            module.optouts[line] = OptOut(
+                line=line,
+                justification=_strip_justification(optout.group("rest")),
+            )
+            continue
+        module.directive_problems.append(
+            Finding(
+                code=META_CODE,
+                message=(
+                    f"malformed replint directive {body!r}; expected "
+                    "'disable=RLnnn[,RLnnn] (reason)' or "
+                    "'not-an-algorithm (reason)'"
+                ),
+                path=module.display,
+                line=line,
+                col=tok.start[1],
+            )
+        )
+
+
+def parse_module(path: Path, display: Optional[str] = None) -> ModuleInfo:
+    """Parse one file into a :class:`ModuleInfo` (raises ``SyntaxError``)."""
+    source = path.read_text(encoding="utf-8")
+    tree = ast.parse(source, filename=str(path))
+    dotted, is_package = _module_dotted(path)
+    module = ModuleInfo(
+        path=path,
+        display=display if display is not None else path.as_posix(),
+        source=source,
+        tree=tree,
+        dotted=dotted,
+        is_package=is_package,
+    )
+    _extract_directives(module)
+    return module
+
+
+class Rule:
+    """Base class for lint rules; concrete rules set the class attributes.
+
+    ``check`` yields :class:`Finding` objects for one module; the
+    shared :class:`~repro.lint.project.ProjectIndex` carries whatever
+    cross-module facts a rule needs (class/method indexes, registration
+    sites).
+    """
+
+    code: str = "RL???"
+    name: str = ""
+    summary: str = ""
+
+    def check(
+        self, module: ModuleInfo, project: "ProjectIndex"
+    ) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding(self, module: ModuleInfo, node: ast.AST, message: str) -> Finding:
+        return Finding(
+            code=self.code,
+            message=message,
+            path=module.display,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+        )
+
+
+#: The global rule registry, keyed by rule code.
+RULES: Dict[str, Rule] = {}
+
+
+def register_rule(cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator: instantiate and register a rule by its code."""
+    instance = cls()
+    if instance.code in RULES:
+        raise ValueError(f"duplicate rule code {instance.code}")
+    RULES[instance.code] = instance
+    return cls
+
+
+def all_rules() -> List[Rule]:
+    """Registered rules, ordered by code."""
+    return [RULES[code] for code in sorted(RULES)]
+
+
+def iter_python_files(paths: Sequence[Path]) -> List[Path]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    out: Set[Path] = set()
+    for path in paths:
+        if path.is_file():
+            if path.suffix == ".py":
+                out.add(path)
+        elif path.is_dir():
+            for candidate in path.rglob("*.py"):
+                if any(
+                    part.startswith(".") or part == "__pycache__"
+                    for part in candidate.parts
+                ):
+                    continue
+                out.add(candidate)
+    return sorted(out)
+
+
+@dataclass
+class LintResult:
+    """Outcome of one lint run: kept findings, suppressed ones, counts."""
+
+    findings: List[Finding]
+    suppressed: List[Finding]
+    files_checked: int
+
+    @property
+    def exit_code(self) -> int:
+        return 1 if self.findings else 0
+
+
+def _meta_findings(modules: Iterable[ModuleInfo], full_run: bool) -> List[Finding]:
+    """RL000 diagnostics keeping the directives themselves honest."""
+    out: List[Finding] = []
+    for module in modules:
+        out.extend(module.directive_problems)
+        for sup in module.suppressions.values():
+            if not sup.justification:
+                out.append(
+                    Finding(
+                        META_CODE,
+                        "replint disable without a justification — say why "
+                        "the invariant does not apply here",
+                        module.display,
+                        sup.line,
+                    )
+                )
+            for code in sup.codes:
+                if code == META_CODE:
+                    out.append(
+                        Finding(
+                            META_CODE,
+                            "RL000 (lint meta) cannot be suppressed",
+                            module.display,
+                            sup.line,
+                        )
+                    )
+                elif code not in RULES:
+                    out.append(
+                        Finding(
+                            META_CODE,
+                            f"unknown rule code {code} in replint disable",
+                            module.display,
+                            sup.line,
+                        )
+                    )
+                elif full_run and code not in sup.used:
+                    out.append(
+                        Finding(
+                            META_CODE,
+                            f"unused replint suppression for {code} — nothing "
+                            "on this line triggers it; remove the comment",
+                            module.display,
+                            sup.line,
+                        )
+                    )
+        for opt in module.optouts.values():
+            if not opt.justification:
+                out.append(
+                    Finding(
+                        META_CODE,
+                        "replint not-an-algorithm opt-out without a "
+                        "justification — say why this class is not a "
+                        "registrable sketch",
+                        module.display,
+                        opt.line,
+                    )
+                )
+    return out
+
+
+def lint_paths(
+    paths: Sequence[Path], select: Optional[Set[str]] = None
+) -> LintResult:
+    """Run the registered rules over ``paths`` and apply suppressions.
+
+    ``select`` restricts the run to a subset of rule codes; the unused-
+    suppression meta check only runs on full (unselected) runs, since a
+    partial run cannot tell a stale suppression from a deselected rule.
+    """
+    from .project import ProjectIndex
+    from . import rules as _rules  # noqa: F401  (registers the rules)
+
+    files = iter_python_files(paths)
+    modules: List[ModuleInfo] = []
+    parse_failures: List[Finding] = []
+    for path in files:
+        try:
+            modules.append(parse_module(path))
+        except SyntaxError as exc:
+            parse_failures.append(
+                Finding(
+                    META_CODE,
+                    f"file does not parse: {exc.msg}",
+                    path.as_posix(),
+                    exc.lineno or 1,
+                )
+            )
+    project = ProjectIndex(modules)
+    active = [
+        rule
+        for rule in all_rules()
+        if select is None or rule.code in select
+    ]
+    raw: List[Finding] = []
+    for module in modules:
+        for rule in active:
+            raw.extend(rule.check(module, project))
+    by_display = {module.display: module for module in modules}
+    kept: List[Finding] = list(parse_failures)
+    suppressed: List[Finding] = []
+    for finding in raw:
+        module = by_display.get(finding.path)
+        sup = module.suppressions.get(finding.line) if module else None
+        if sup is not None and finding.code in sup.codes:
+            sup.used.add(finding.code)
+            suppressed.append(finding)
+        else:
+            kept.append(finding)
+    kept.extend(_meta_findings(modules, full_run=select is None))
+    kept.sort(key=Finding.sort_key)
+    suppressed.sort(key=Finding.sort_key)
+    return LintResult(
+        findings=kept, suppressed=suppressed, files_checked=len(files)
+    )

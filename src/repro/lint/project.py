@@ -1,0 +1,243 @@
+"""Cross-module project index for whole-tree lint rules.
+
+Rules like RL003 (registry honesty) need facts no single module holds:
+which class a registration factory constructs, and which protocol
+methods that class *statically* defines once its base classes (resolved
+through the project's own imports) are folded in.  This module builds
+that index once per lint run:
+
+* a dotted-module map over every parsed file,
+* per-module import tables (``local name -> dotted target``),
+* a class table with directly-defined attribute names, base-class
+  references, and transitive method resolution with a completeness
+  flag (a base the index cannot resolve makes the method set "open",
+  and open sets are never used to *prove* a method absent).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from .core import ModuleInfo
+
+__all__ = ["ClassInfo", "ProjectIndex", "attr_tail", "dotted_expr"]
+
+#: Bases that contribute no protocol methods and do not make a class's
+#: method set "open" when unresolvable inside the project.
+_BENIGN_BASES = {
+    "object",
+    "Protocol",
+    "Generic",
+    "ABC",
+    "Exception",
+    "NamedTuple",
+    "Enum",
+    "IntEnum",
+    "TypedDict",
+}
+
+
+def attr_tail(node: ast.expr) -> Optional[str]:
+    """The final attribute/name of a ``Name``/``Attribute`` chain."""
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+def dotted_expr(node: ast.expr) -> Optional[str]:
+    """Render ``a.b.c`` chains to a dotted string (``None`` otherwise)."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+@dataclass
+class ClassInfo:
+    """One class definition: where it lives and what it defines."""
+
+    name: str
+    module: str
+    lineno: int
+    own_methods: Set[str]
+    base_names: List[str]
+    is_protocol: bool
+    _resolved: Optional[Tuple[Set[str], bool]] = field(
+        default=None, repr=False
+    )
+
+    @property
+    def dotted(self) -> str:
+        return f"{self.module}.{self.name}"
+
+
+def _class_own_attrs(node: ast.ClassDef) -> Set[str]:
+    """Attribute names a class body defines directly (defs + assigns)."""
+    names: Set[str] = set()
+    for stmt in node.body:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            names.add(stmt.name)
+        elif isinstance(stmt, ast.Assign):
+            for target in stmt.targets:
+                if isinstance(target, ast.Name):
+                    names.add(target.id)
+        elif isinstance(stmt, ast.AnnAssign):
+            if isinstance(stmt.target, ast.Name):
+                names.add(stmt.target.id)
+    return names
+
+
+class ProjectIndex:
+    """Classes, imports, and modules across every file in a lint run."""
+
+    def __init__(self, modules: Sequence[ModuleInfo]) -> None:
+        self.modules: List[ModuleInfo] = list(modules)
+        self.by_dotted: Dict[str, ModuleInfo] = {
+            module.dotted: module for module in self.modules if module.dotted
+        }
+        self.imports: Dict[str, Dict[str, str]] = {}
+        self.classes: Dict[str, ClassInfo] = {}
+        #: Scratch space for cross-rule memos (e.g. RL003's registered set).
+        self.cache: Dict[str, object] = {}
+        for module in self.modules:
+            self._index_module(module)
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def _package_of(self, module: ModuleInfo) -> str:
+        if module.is_package:
+            return module.dotted
+        return module.dotted.rpartition(".")[0]
+
+    def _resolve_from_base(self, module: ModuleInfo, node: ast.ImportFrom) -> str:
+        if node.level == 0:
+            return node.module or ""
+        package = self._package_of(module)
+        parts = package.split(".") if package else []
+        ascend = node.level - 1
+        if ascend:
+            parts = parts[:-ascend] if ascend <= len(parts) else []
+        if node.module:
+            parts.append(node.module)
+        return ".".join(parts)
+
+    def _index_module(self, module: ModuleInfo) -> None:
+        table: Dict[str, str] = {}
+        for stmt in ast.walk(module.tree):
+            if isinstance(stmt, ast.Import):
+                for alias in stmt.names:
+                    local = alias.asname or alias.name.partition(".")[0]
+                    table[local] = alias.asname and alias.name or local
+                    if alias.asname:
+                        table[alias.asname] = alias.name
+            elif isinstance(stmt, ast.ImportFrom):
+                base = self._resolve_from_base(module, stmt)
+                for alias in stmt.names:
+                    if alias.name == "*":
+                        continue
+                    local = alias.asname or alias.name
+                    table[local] = f"{base}.{alias.name}" if base else alias.name
+        self.imports[module.dotted] = table
+        for stmt in module.tree.body:
+            if isinstance(stmt, ast.ClassDef):
+                bases = [
+                    name
+                    for name in (attr_tail(base) for base in stmt.bases)
+                    if name is not None
+                ]
+                info = ClassInfo(
+                    name=stmt.name,
+                    module=module.dotted,
+                    lineno=stmt.lineno,
+                    own_methods=_class_own_attrs(stmt),
+                    base_names=[
+                        dotted_expr(base) or tail
+                        for base, tail in zip(
+                            stmt.bases,
+                            (attr_tail(b) or "?" for b in stmt.bases),
+                        )
+                    ],
+                    is_protocol="Protocol" in bases,
+                )
+                self.classes[info.dotted] = info
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def resolve_name(
+        self, module: ModuleInfo, name: str
+    ) -> Optional[str]:
+        """Resolve a (possibly dotted) local name to an indexed class."""
+        head, _, rest = name.partition(".")
+        table = self.imports.get(module.dotted, {})
+        candidates: List[str] = []
+        local = f"{module.dotted}.{head}" if module.dotted else head
+        if local in self.classes:
+            candidates.append(local)
+        if head in table:
+            target = table[head]
+            candidates.append(f"{target}.{rest}" if rest else target)
+        candidates.append(name)
+        for candidate in candidates:
+            if candidate in self.classes:
+                return candidate
+        return None
+
+    def resolve_call_class(
+        self, module: ModuleInfo, call: ast.Call
+    ) -> Optional[ClassInfo]:
+        """The indexed class a ``Call`` node constructs, if resolvable."""
+        dotted = dotted_expr(call.func)
+        if dotted is None:
+            return None
+        resolved = self.resolve_name(module, dotted)
+        return self.classes.get(resolved) if resolved else None
+
+    def class_methods(self, dotted: str) -> Tuple[Set[str], bool]:
+        """Transitive statically-visible attribute names for a class.
+
+        Returns ``(methods, complete)`` — ``complete`` is ``False`` when
+        some base could not be resolved inside the project, in which
+        case a missing method cannot be *proven* missing.
+        """
+        return self._class_methods(dotted, frozenset())
+
+    def _class_methods(
+        self, dotted: str, seen: frozenset
+    ) -> Tuple[Set[str], bool]:
+        info = self.classes.get(dotted)
+        if info is None:
+            return set(), False
+        if info._resolved is not None:
+            return info._resolved
+        if dotted in seen:
+            return set(info.own_methods), True
+        methods = set(info.own_methods)
+        complete = True
+        module = self.by_dotted.get(info.module)
+        for base_name in info.base_names:
+            tail = base_name.rpartition(".")[2]
+            if tail in _BENIGN_BASES:
+                continue
+            resolved = (
+                self.resolve_name(module, base_name) if module else None
+            )
+            if resolved is None:
+                complete = False
+                continue
+            base_methods, base_complete = self._class_methods(
+                resolved, seen | {dotted}
+            )
+            methods |= base_methods
+            complete = complete and base_complete
+        info._resolved = (methods, complete)
+        return methods, complete

@@ -1,0 +1,61 @@
+"""Text and JSON reporters for lint results.
+
+The text form is the human/CI-log view (one ``path:line:col: CODE
+message`` per finding plus a summary line); the JSON form is a stable
+machine-readable document (``repro-lint/1``) mirroring the
+``repro-bench/1`` convention: a versioned envelope whose ``findings``
+entries carry ``code``/``message``/``path``/``line``/``col``.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List
+
+from .core import LintResult, all_rules
+
+__all__ = ["render_text", "render_json", "describe_rules"]
+
+#: Version tag of the JSON report envelope.
+JSON_FORMAT = "repro-lint/1"
+
+
+def render_text(result: LintResult, verbose: bool = False) -> str:
+    """Human-readable report: findings, then a one-line summary."""
+    lines: List[str] = [finding.render() for finding in result.findings]
+    if verbose and result.suppressed:
+        lines.append("suppressed:")
+        lines.extend(
+            "  " + finding.render() for finding in result.suppressed
+        )
+    noun = "finding" if len(result.findings) == 1 else "findings"
+    lines.append(
+        f"{len(result.findings)} {noun} "
+        f"({len(result.suppressed)} suppressed) "
+        f"in {result.files_checked} files"
+    )
+    return "\n".join(lines)
+
+
+def render_json(result: LintResult) -> str:
+    """Machine-readable report (format ``repro-lint/1``)."""
+    document: Dict[str, object] = {
+        "format": JSON_FORMAT,
+        "files_checked": result.files_checked,
+        "findings": [finding.to_dict() for finding in result.findings],
+        "suppressed": [finding.to_dict() for finding in result.suppressed],
+        "rules": {
+            rule.code: {"name": rule.name, "summary": rule.summary}
+            for rule in all_rules()
+        },
+    }
+    return json.dumps(document, indent=2, sort_keys=True)
+
+
+def describe_rules() -> str:
+    """The ``--list-rules`` text: code, name, and invariant summary."""
+    lines = []
+    for rule in all_rules():
+        lines.append(f"{rule.code}  {rule.name}")
+        lines.append(f"       {rule.summary}")
+    return "\n".join(lines)

@@ -93,8 +93,9 @@ class SketchController:
 
     def output(self, theta: float) -> Set:
         """HHH set (D-H-Memento) or heavy-hitter set keys (D-Memento)."""
-        if hasattr(self.algorithm, "output"):
-            return self.algorithm.output(theta)
+        output = getattr(self.algorithm, "output", None)
+        if output is not None:
+            return output(theta)
         return set(self.algorithm.heavy_hitters(theta))
 
     def heavy_prefixes(self, theta: float) -> Dict[Hashable, float]:
@@ -104,8 +105,9 @@ class SketchController:
         (Section 6.3: "a subnet is rate-limited if its window frequency is
         above the threshold") — no conditioning, no coverage slack.
         """
-        if hasattr(self.algorithm, "heavy_prefixes"):
-            return self.algorithm.heavy_prefixes(theta)
+        heavy_prefixes = getattr(self.algorithm, "heavy_prefixes", None)
+        if heavy_prefixes is not None:
+            return heavy_prefixes(theta)
         return self.algorithm.heavy_hitters(theta)
 
     def close(self) -> None:

@@ -422,7 +422,7 @@ def make_executor(spec: object = "serial"):
         missing = [
             name
             for name in ("seed", "submit", "broadcast", "collect", "close")
-            if not hasattr(spec, name)
+            if getattr(spec, name, None) is None
         ]
         if missing:
             raise TypeError(
@@ -431,7 +431,10 @@ def make_executor(spec: object = "serial"):
                 f"{spec!r}"
             )
         return spec
-    if hasattr(spec, "map") and hasattr(spec, "close"):
+    if (
+        getattr(spec, "map", None) is not None
+        and getattr(spec, "close", None) is not None
+    ):
         return spec
     raise TypeError(
         f"executor must be a name, expose map()/close(), or expose the "

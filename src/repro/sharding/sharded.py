@@ -296,8 +296,9 @@ class ShardedSketch(BatchIngest):
         first = self._shards[0]
         #: shards that can advance their window without inserting get the
         #: global-window-aligned ingestion; interval sketches get substreams.
-        #: The capability is either declared (engine registry) or sniffed.
-        has_gap = hasattr(first, "ingest_gap")
+        #: The capability is declared (engine registry / WindowedSketch
+        #: protocol) as the presence of the ingest_gap hook.
+        has_gap = getattr(first, "ingest_gap", None) is not None
         if windowed is None:
             self.windowed = has_gap
         else:
@@ -707,7 +708,7 @@ class ShardedSketch(BatchIngest):
         family's own ``heavy_hitters`` convention.
         """
         first = self._shards[0]
-        if hasattr(first, "windowed_entries"):
+        if getattr(first, "windowed_entries", None) is not None:
             return self.merged_window().heavy_hitters(theta)
         if self.windowed:
             bar = theta * getattr(first, "window", self._updates)
@@ -779,15 +780,16 @@ class ShardedSketch(BatchIngest):
         if (
             self.query_mode == "sum"
             and self.num_shards > 1
-            and hasattr(self._shards[0], "output")
-            and hasattr(self._shards[0], "hierarchy")
+            and getattr(self._shards[0], "output", None) is not None
+            and getattr(self._shards[0], "hierarchy", None) is not None
         ):
             from ..hierarchy.hhh_output import compute_hhh
 
             first = self._shards[0]
             correction = 0.0
-            if hasattr(first, "sampling_correction"):
-                correction = first.sampling_correction() * math.sqrt(
+            sampling_correction = getattr(first, "sampling_correction", None)
+            if sampling_correction is not None:
+                correction = sampling_correction() * math.sqrt(
                     self.num_shards
                 )
             return compute_hhh(
@@ -798,8 +800,13 @@ class ShardedSketch(BatchIngest):
                 threshold_count=theta * first.window,
                 correction=correction,
             )
-        if self.num_shards == 1 and hasattr(self._shards[0], "output"):
-            return self._shards[0].output(theta)
+        single_output = (
+            getattr(self._shards[0], "output", None)
+            if self.num_shards == 1
+            else None
+        )
+        if single_output is not None:
+            return single_output(theta)
         return set(self.heavy_hitters(theta))
 
     # ------------------------------------------------------------------

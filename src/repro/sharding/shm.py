@@ -110,6 +110,13 @@ class PlanRing:
 
     __slots__ = ("slots", "slot_bytes", "_shm", "_owner", "_retired", "_issued")
 
+    slots: int
+    slot_bytes: int
+    _shm: Optional[shared_memory.SharedMemory]
+    _owner: bool
+    _retired: Optional[np.ndarray]
+    _issued: int
+
     def __init__(
         self,
         slots: int = 8,
@@ -155,10 +162,12 @@ class PlanRing:
     @property
     def name(self) -> str:
         """The shared-memory segment name (ships in the worker's args)."""
+        assert self._shm is not None, "ring is closed"
         return self._shm.name
 
     def in_flight(self) -> int:
         """Slots written but not yet retired by the consumer."""
+        assert self._retired is not None, "ring is closed"
         return self._issued - int(self._retired[0])
 
     # ------------------------------------------------------------------
@@ -179,6 +188,7 @@ class PlanRing:
         ``RuntimeError`` after ``timeout`` seconds of no consumer
         progress (a dead or wedged worker must not hang the parent).
         """
+        assert self._shm is not None, "ring is closed"
         columns = [np.ascontiguousarray(col) for col in columns]
         if sum(_aligned(col.nbytes) for col in columns) > self.slot_bytes:
             return None
@@ -222,6 +232,7 @@ class PlanRing:
         frees it for reuse, so consumers must drop them (or copy) before
         retiring.
         """
+        assert self._shm is not None, "ring is closed"
         base = _CTRL_BYTES + slot * self.slot_bytes
         buf = self._shm.buf
         offset = 0
@@ -240,6 +251,7 @@ class PlanRing:
         A single aligned 8-byte store of the incremented counter; the
         producer polls it, so no message crosses the pipe.
         """
+        assert self._retired is not None, "ring is closed"
         self._retired[0] += np.uint64(1)
 
     # ------------------------------------------------------------------
@@ -263,7 +275,7 @@ class PlanRing:
             except FileNotFoundError:  # pragma: no cover - already gone
                 pass
 
-    def __del__(self):  # pragma: no cover - interpreter-teardown best effort
+    def __del__(self) -> None:  # pragma: no cover - interpreter-teardown best effort
         try:
             self.close()
         except Exception:

@@ -1,0 +1,40 @@
+"""Shared helpers for the repro-lint test suite."""
+
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.lint import lint_paths
+
+
+@pytest.fixture
+def run_lint(tmp_path):
+    """Write fixture snippets under ``tmp_path`` and lint them.
+
+    ``files`` maps repo-relative posix paths to (dedented) source; parent
+    directories are created as needed, so package trees like
+    ``repro/core/__init__.py`` work for cross-module rules.
+    """
+
+    def _run(files, select=None):
+        for rel, source in files.items():
+            path = tmp_path / rel
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(textwrap.dedent(source), encoding="utf-8")
+        return lint_paths([tmp_path], select=select)
+
+    return _run
+
+
+def codes(result):
+    """The rule codes of the kept findings, in report order."""
+    return [finding.code for finding in result.findings]
+
+
+@pytest.fixture(name="codes")
+def codes_fixture():
+    return codes
+
+
+REPO_ROOT = Path(__file__).resolve().parents[2]

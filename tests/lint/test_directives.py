@@ -1,0 +1,123 @@
+"""Suppression and opt-out directive handling, including the RL000 meta
+findings that keep the directives themselves honest."""
+
+
+_ENGINE_HASATTR = """
+def probe(sketch):
+    return hasattr(sketch, "entries")  {directive}
+"""
+
+
+def _engine_file(directive):
+    return {
+        "repro/engine/shim.py": _ENGINE_HASATTR.format(directive=directive)
+    }
+
+
+class TestSuppressions:
+    def test_justified_disable_suppresses(self, run_lint, codes):
+        result = run_lint(
+            _engine_file("# replint: disable=RL005 (legacy shim, PR-7)")
+        )
+        assert codes(result) == []
+        assert [f.code for f in result.suppressed] == ["RL005"]
+
+    def test_disable_only_covers_listed_codes(self, run_lint, codes):
+        result = run_lint(
+            _engine_file("# replint: disable=RL004 (wrong code on purpose)")
+        )
+        # the RL005 finding survives, and the RL004 disable is unused
+        assert sorted(codes(result)) == ["RL000", "RL005"]
+
+    def test_multi_code_disable(self, run_lint, codes):
+        result = run_lint(
+            {
+                "repro/engine/shim.py": """
+                def probe(ring):
+                    return ring.buf if hasattr(ring, "buf") else None  # replint: disable=RL004,RL005 (probe helper)
+                """
+            }
+        )
+        assert codes(result) == []
+        assert sorted(f.code for f in result.suppressed) == ["RL004", "RL005"]
+
+    def test_strings_never_match_directives(self, run_lint, codes):
+        result = run_lint(
+            {
+                "doc.py": """
+                NOTE = "# replint: disable=RL005 (inside a string)"
+                """
+            }
+        )
+        assert codes(result) == []
+        assert result.suppressed == []
+
+
+class TestMetaFindings:
+    def test_unjustified_disable_is_rl000(self, run_lint, codes):
+        result = run_lint(_engine_file("# replint: disable=RL005"))
+        assert codes(result) == ["RL000"]
+        assert "justification" in result.findings[0].message
+        # the suppression still applies; only the missing reason is flagged
+        assert [f.code for f in result.suppressed] == ["RL005"]
+
+    def test_unknown_code_is_rl000(self, run_lint, codes):
+        result = run_lint(
+            {"ok.py": "X = 1  # replint: disable=RL999 (no such rule)\n"}
+        )
+        assert codes(result) == ["RL000"]
+        assert "unknown rule code RL999" in result.findings[0].message
+
+    def test_rl000_cannot_be_suppressed(self, run_lint, codes):
+        result = run_lint(
+            {"ok.py": "X = 1  # replint: disable=RL000 (try to hide meta)\n"}
+        )
+        assert "RL000" in codes(result)
+        assert any(
+            "cannot be suppressed" in f.message for f in result.findings
+        )
+
+    def test_unused_suppression_is_rl000_on_full_run(self, run_lint, codes):
+        files = {"ok.py": "X = 1  # replint: disable=RL005 (nothing here)\n"}
+        full = run_lint(files)
+        assert codes(full) == ["RL000"]
+        assert "unused" in full.findings[0].message
+
+    def test_unused_check_skipped_on_partial_run(self, run_lint, codes):
+        # a partial run cannot tell stale from deselected, so no RL000
+        files = {"ok.py": "X = 1  # replint: disable=RL005 (nothing here)\n"}
+        partial = run_lint(files, select={"RL001"})
+        assert codes(partial) == []
+
+    def test_malformed_directive_is_rl000(self, run_lint, codes):
+        result = run_lint(
+            {"ok.py": "X = 1  # replint: frobnicate the lint\n"}
+        )
+        assert codes(result) == ["RL000"]
+        assert "malformed" in result.findings[0].message
+
+    def test_unjustified_optout_is_rl000(self, run_lint, codes):
+        result = run_lint(
+            {
+                "repro/__init__.py": "",
+                "repro/core/__init__.py": "",
+                "repro/core/oracle.py": """
+                # replint: not-an-algorithm
+                class Oracle:
+                    def update(self, item):
+                        pass
+
+                    def query(self, item):
+                        return 0.0
+                """,
+            }
+        )
+        # the opt-out still silences RL003, but the missing reason is flagged
+        assert codes(result) == ["RL000"]
+        assert "not-an-algorithm" in result.findings[0].message
+
+    def test_syntax_error_file_is_rl000(self, run_lint, codes):
+        result = run_lint({"broken.py": "def oops(:\n    pass\n"})
+        assert codes(result) == ["RL000"]
+        assert "does not parse" in result.findings[0].message
+        assert result.exit_code == 1

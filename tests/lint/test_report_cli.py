@@ -1,0 +1,125 @@
+"""Reporter output schemas and the ``repro-lint`` CLI surface."""
+
+import json
+
+import pytest
+
+from repro.lint import render_json, render_text
+from repro.lint.cli import main
+from repro.lint.report import JSON_FORMAT
+
+ALL_CODES = ["RL001", "RL002", "RL003", "RL004", "RL005", "RL006"]
+
+
+@pytest.fixture
+def dirty_tree(tmp_path):
+    """A tree with one RL005 finding and one suppressed RL005 finding."""
+    shim = tmp_path / "repro" / "engine" / "shim.py"
+    shim.parent.mkdir(parents=True)
+    shim.write_text(
+        'def a(s):\n'
+        '    return hasattr(s, "x")\n'
+        '\n'
+        'def b(s):\n'
+        '    return hasattr(s, "y")  # replint: disable=RL005 (fixture)\n',
+        encoding="utf-8",
+    )
+    return tmp_path
+
+
+class TestJsonReporter:
+    def test_envelope_schema(self, run_lint):
+        result = run_lint(
+            {
+                "repro/engine/shim.py": """
+                def probe(s):
+                    return hasattr(s, "x")
+                """
+            }
+        )
+        document = json.loads(render_json(result))
+        assert document["format"] == JSON_FORMAT == "repro-lint/1"
+        assert set(document) == {
+            "format", "files_checked", "findings", "suppressed", "rules",
+        }
+        assert document["files_checked"] == 1
+        assert sorted(document["rules"]) == ALL_CODES
+        (finding,) = document["findings"]
+        assert set(finding) == {"code", "message", "path", "line", "col"}
+        assert finding["code"] == "RL005"
+        assert finding["line"] == 3
+        for code, rule in document["rules"].items():
+            assert set(rule) == {"name", "summary"}
+
+    def test_clean_run_document(self, run_lint):
+        document = json.loads(render_json(run_lint({"ok.py": "X = 1\n"})))
+        assert document["findings"] == []
+        assert document["suppressed"] == []
+
+
+class TestTextReporter:
+    def test_summary_line_and_rendering(self, run_lint):
+        result = run_lint(
+            {
+                "repro/engine/shim.py": """
+                def probe(s):
+                    return hasattr(s, "x")
+                """
+            }
+        )
+        text = render_text(result)
+        assert text.endswith("1 finding (0 suppressed) in 1 files")
+        first = text.splitlines()[0]
+        assert ":3:" in first and "RL005" in first
+
+    def test_verbose_shows_suppressed(self, run_lint):
+        result = run_lint(
+            _suppressed_fixture()
+        )
+        assert "suppressed:" not in render_text(result)
+        assert "suppressed:" in render_text(result, verbose=True)
+
+
+def _suppressed_fixture():
+    return {
+        "repro/engine/shim.py": (
+            'def probe(s):\n'
+            '    return hasattr(s, "x")  # replint: disable=RL005 (fixture)\n'
+        )
+    }
+
+
+class TestCli:
+    def test_list_rules(self, capsys):
+        assert main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for code in ALL_CODES:
+            assert code in out
+
+    def test_exit_one_on_findings(self, dirty_tree, capsys):
+        assert main([str(dirty_tree)]) == 1
+        out = capsys.readouterr().out
+        assert "RL005" in out
+
+    def test_json_format(self, dirty_tree, capsys):
+        assert main([str(dirty_tree), "--format", "json"]) == 1
+        document = json.loads(capsys.readouterr().out)
+        assert document["format"] == "repro-lint/1"
+        assert len(document["findings"]) == 1
+        assert len(document["suppressed"]) == 1
+
+    def test_select_subset(self, dirty_tree, capsys):
+        assert main([str(dirty_tree), "--select", "RL001"]) == 0
+        assert main([str(dirty_tree), "--select", "RL001,RL005"]) == 1
+        capsys.readouterr()
+
+    def test_unknown_select_code_is_usage_error(self, dirty_tree, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main([str(dirty_tree), "--select", "RL042"])
+        assert excinfo.value.code == 2
+        capsys.readouterr()
+
+    def test_clean_tree_exits_zero(self, tmp_path, capsys):
+        (tmp_path / "ok.py").write_text("X = 1\n", encoding="utf-8")
+        assert main([str(tmp_path)]) == 0
+        assert "0 findings" in capsys.readouterr().out

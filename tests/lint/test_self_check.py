@@ -1,0 +1,69 @@
+"""The self-hosting bar: the shipped tree lints clean, and the strict
+mypy gate passes when mypy is available (CI installs it via `.[dev]`)."""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.lint import lint_paths
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+LINT_TARGETS = [REPO_ROOT / "src", REPO_ROOT / "benchmarks"]
+#: The acceptance budget: at most this many justified disables repo-wide.
+MAX_SUPPRESSIONS = 5
+
+
+class TestSelfHosting:
+    def test_repo_lints_clean(self):
+        result = lint_paths(LINT_TARGETS)
+        messages = "\n".join(f.render() for f in result.findings)
+        assert result.findings == [], f"repro-lint findings:\n{messages}"
+        assert result.exit_code == 0
+        assert result.files_checked > 50
+
+    def test_suppression_budget(self):
+        result = lint_paths(LINT_TARGETS)
+        assert len(result.suppressed) <= MAX_SUPPRESSIONS
+
+    def test_examples_lint_clean(self):
+        result = lint_paths([REPO_ROOT / "examples"])
+        messages = "\n".join(f.render() for f in result.findings)
+        assert result.findings == [], f"repro-lint findings:\n{messages}"
+
+    def test_console_entry_point(self):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            filter(None, [str(REPO_ROOT / "src"), env.get("PYTHONPATH")])
+        )
+        proc = subprocess.run(
+            [
+                sys.executable,
+                "-m",
+                "repro.lint",
+                str(LINT_TARGETS[0]),
+                str(LINT_TARGETS[1]),
+            ],
+            capture_output=True,
+            text=True,
+            cwd=REPO_ROOT,
+            env=env,
+        )
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        assert "0 findings" in proc.stdout
+
+
+@pytest.mark.slow
+class TestMypyGate:
+    def test_strict_tier_passes(self):
+        pytest.importorskip("mypy")
+        proc = subprocess.run(
+            [sys.executable, "-m", "mypy", "--config-file", "pyproject.toml"],
+            capture_output=True,
+            text=True,
+            cwd=REPO_ROOT,
+        )
+        assert proc.returncode == 0, proc.stdout + proc.stderr

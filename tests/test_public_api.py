@@ -191,12 +191,15 @@ EXPECTED_EXPORTS = (
 #: is an API break.
 EXPECTED_ENGINE_SIGNATURES = {
     "update": "(self, item: 'Hashable') -> 'None'",
-    "update_many": "(self, items) -> 'None'",
-    "extend": "(self, iterable: 'Iterable', chunk_size: 'int' = 4096) -> 'None'",
+    "update_many": "(self, items: 'Sequence[Hashable]') -> 'None'",
+    "extend": (
+        "(self, iterable: 'Iterable[Hashable]', chunk_size: 'int' = 4096) "
+        "-> 'None'"
+    ),
     "query": "(self, key: 'Hashable') -> 'float'",
     "heavy_hitters": "(self, theta: 'float') -> 'Dict[Hashable, float]'",
     "top_k": "(self, k: 'int') -> 'List[Tuple[Hashable, float]]'",
-    "entries": "(self)",
+    "entries": "(self) -> 'List[Entry]'",
     "stats": "(self) -> 'Dict[str, object]'",
     "flush": "(self) -> 'None'",
     "close": "(self) -> 'None'",
