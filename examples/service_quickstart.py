@@ -1,0 +1,110 @@
+#!/usr/bin/env python3
+"""The ingestion service — one daemon, many clients, durable state.
+
+Walks the always-on deployment shape:
+
+1. declare the daemon in the spec's ``service`` section and start it
+   in-process (`ServiceDaemon`);
+2. feed it from two concurrent clients — a fire-and-forget reporter per
+   traffic source, merged into one ordered stream by the daemon;
+3. run flush-consistent live queries while ingestion continues;
+4. force a checkpoint and rebuild an identical engine from the file
+   alone (`CheckpointStore.restore`), the crash-recovery path.
+
+Run:  python examples/service_quickstart.py
+"""
+
+from __future__ import annotations
+
+import tempfile
+import threading
+from pathlib import Path
+
+from repro import (
+    BACKBONE,
+    CheckpointStore,
+    ServiceClient,
+    ServiceDaemon,
+    SketchSpec,
+    generate_trace,
+)
+
+WINDOW = 20_000
+THETA = 0.01
+
+
+def main() -> None:
+    trace = generate_trace(BACKBONE, length=2 * WINDOW, seed=42)
+    stream = trace.packets_1d()
+    half = len(stream) // 2
+
+    with tempfile.TemporaryDirectory() as tmp:
+        spec = SketchSpec.from_dict({
+            "algorithm": {
+                "family": "memento",
+                "window": WINDOW,
+                "counters": 512,
+                "tau": 1 / 16,
+                "seed": 1,
+            },
+            # port 0 = ephemeral: the daemon reports what it bound
+            "service": {"port": 0, "checkpoint_dir": str(Path(tmp) / "ckpt")},
+        })
+
+        # --------------------------------------------------------------
+        # 1. the daemon owns the engine; clients only hold sockets
+        # --------------------------------------------------------------
+        with ServiceDaemon(spec) as daemon:
+            print(f"[daemon]  listening on 127.0.0.1:{daemon.port}")
+
+            # ----------------------------------------------------------
+            # 2. two traffic sources report concurrently
+            # ----------------------------------------------------------
+            def feed(source: list) -> None:
+                with ServiceClient.connect(port=daemon.port) as client:
+                    for lo in range(0, len(source), 1000):
+                        client.report(source[lo : lo + 1000])
+                    client.flush()  # barrier: this source fully applied
+
+            feeders = [
+                threading.Thread(target=feed, args=(stream[:half],)),
+                threading.Thread(target=feed, args=(stream[half:],)),
+            ]
+            for feeder in feeders:
+                feeder.start()
+            for feeder in feeders:
+                feeder.join()
+
+            # ----------------------------------------------------------
+            # 3. live, flush-consistent queries over the merged stream
+            # ----------------------------------------------------------
+            with ServiceClient.connect(port=daemon.port) as client:
+                position = client.flush()
+                heavy = client.heavy_hitters(THETA)
+                top = client.top_k(5)
+                print(f"[query]   {position} packets applied")
+                print(
+                    f"[query]   {len(heavy)} window heavy hitters "
+                    f"(theta={THETA:.0%})"
+                )
+                print(f"[query]   top-5 flows: {[flow for flow, _ in top]}")
+
+                # ------------------------------------------------------
+                # 4. durable state: checkpoint now, restore offline
+                # ------------------------------------------------------
+                path, ckpt_position = client.checkpoint()
+                print(f"[ckpt]    wrote {Path(path).name} @ {ckpt_position}")
+
+        engine, position = CheckpointStore(Path(tmp) / "ckpt").restore()
+        try:
+            restored_top = engine.top_k(5)
+            print(
+                f"[restore] rebuilt engine @ {position}; "
+                f"top-5 identical: {restored_top == top}"
+            )
+        finally:
+            engine.close()
+
+
+if __name__ == "__main__":
+    main()

@@ -81,6 +81,7 @@ from .engine import (
     HeavyHitterEngine,
     HierarchySpec,
     PipelineSpec,
+    ServiceSpec,
     ShardingSpec,
     SketchSpec,
     build_engine,
@@ -130,6 +131,13 @@ from .netwide.budget import BudgetModel, figure4_series
 from .netwide.controller import AggregationController, SketchController
 from .netwide.measurement_point import AggregatingPoint, SamplingPoint
 from .netwide.simulation import NetwideConfig, NetwideSystem, run_error_experiment
+from .service import (
+    AsyncServiceClient,
+    CheckpointStore,
+    IngestServer,
+    ServiceClient,
+    ServiceDaemon,
+)
 from .sharding import (
     PersistentProcessExecutor,
     PipelineConfig,
@@ -186,8 +194,15 @@ __all__ = [
     "HierarchySpec",
     "ShardingSpec",
     "PipelineSpec",
+    "ServiceSpec",
     "register_algorithm",
     "registered_algorithms",
+    # service
+    "IngestServer",
+    "ServiceDaemon",
+    "ServiceClient",
+    "AsyncServiceClient",
+    "CheckpointStore",
     # sharding
     "ShardedSketch",
     "shard_index",

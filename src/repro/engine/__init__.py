@@ -4,7 +4,7 @@ The three pieces, bottom-up:
 
 * :mod:`repro.engine.spec` — the frozen, JSON-round-trippable
   :class:`SketchSpec` configuration tree (algorithm + hierarchy +
-  sharding + pipeline sections) with parse-time validation.
+  sharding + pipeline + service sections) with parse-time validation.
 * :mod:`repro.engine.registry` — named algorithm families with declared
   capability sets keyed on the :mod:`repro.core.api` protocols;
   :func:`register_algorithm` adds new families without touching the
@@ -35,6 +35,7 @@ from .spec import (
     AlgorithmSpec,
     HierarchySpec,
     PipelineSpec,
+    ServiceSpec,
     ShardingSpec,
     SketchSpec,
     hierarchy_spec_for,
@@ -47,6 +48,7 @@ __all__ = [
     "HeavyHitterEngine",
     "HierarchySpec",
     "PipelineSpec",
+    "ServiceSpec",
     "ShardingSpec",
     "SketchSpec",
     "algorithm_info",

@@ -304,6 +304,43 @@ class HeavyHitterEngine:
         return set(self._sketch.heavy_hitters(theta))
 
     # ------------------------------------------------------------------
+    # state snapshot / restore (checkpointing substrate)
+    # ------------------------------------------------------------------
+    def snapshot_state(self) -> Dict[str, object]:
+        """Picklable snapshot of the composed sketch stack's state.
+
+        Sharded stacks delegate to
+        :meth:`~repro.sharding.ShardedSketch.state_snapshot` (pipeline
+        drained, resident worker state pulled back); bare sketches are
+        snapshotted whole.  The snapshot references live objects — it is
+        meant to be pickled immediately, which is what
+        :mod:`repro.service`'s checkpoint writer does.
+        """
+        if self.sharded:
+            return {"kind": "sharded", "state": self._sketch.state_snapshot()}
+        return {"kind": "bare", "state": self._sketch}
+
+    def restore_state(self, snapshot: Dict[str, object]) -> None:
+        """Adopt a :meth:`snapshot_state` as the engine's current state.
+
+        The engine must have been built from the same spec that produced
+        the snapshot (``CheckpointStore.restore`` guarantees this by
+        rebuilding via :func:`build_engine` from the checkpointed spec);
+        a sharded/bare shape mismatch fails fast.
+        """
+        kind = snapshot.get("kind")
+        expected = "sharded" if self.sharded else "bare"
+        if kind != expected:
+            raise ValueError(
+                f"snapshot kind {kind!r} does not match this engine's "
+                f"stack ({expected!r}) — was it taken under the same spec?"
+            )
+        if self.sharded:
+            self._sketch.restore_state(snapshot["state"])
+        else:
+            self._sketch = snapshot["state"]
+
+    # ------------------------------------------------------------------
     # lifecycle
     # ------------------------------------------------------------------
     def flush(self) -> None:

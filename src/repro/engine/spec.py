@@ -17,9 +17,13 @@ dataclass tree that round-trips through plain dicts / JSON files:
   strategy, query discipline, merge budget.
 * :class:`PipelineSpec` — the pipelined ingestion front-end's knobs
   (mirrors :class:`repro.sharding.pipeline.PipelineConfig`).
+* :class:`ServiceSpec` — the always-on daemon section: listener
+  addresses, checkpoint cadence/retention, and the ingest backpressure
+  budget consumed by :mod:`repro.service`.
 * :class:`SketchSpec` — the root: algorithm + optional hierarchy /
-  sharding / pipeline sections, with ``from_dict`` / ``to_dict`` /
-  ``from_json`` / ``to_json`` / ``from_file`` / ``to_file``.
+  sharding / pipeline / service sections, with ``from_dict`` /
+  ``to_dict`` / ``from_json`` / ``to_json`` / ``from_file`` /
+  ``to_file``.
 
 Validation happens **at parse time**: every ``__post_init__`` checks its
 own ranges, and :class:`SketchSpec` cross-checks the algorithm section
@@ -50,6 +54,7 @@ __all__ = [
     "AlgorithmSpec",
     "HierarchySpec",
     "PipelineSpec",
+    "ServiceSpec",
     "ShardingSpec",
     "SketchSpec",
     "hierarchy_spec_for",
@@ -285,14 +290,69 @@ def pipeline_spec_for(pipeline: object) -> Optional[PipelineSpec]:
 
 
 @dataclass(frozen=True)
+class ServiceSpec:
+    """The always-on ingestion daemon section (:mod:`repro.service`).
+
+    A spec carrying this section fully describes a deployable daemon:
+    ``repro-serve path/to/spec.json`` builds the engine from the other
+    sections and serves it.  ``port`` / ``unix_socket`` name the
+    listeners (``port=0`` binds an ephemeral TCP port; at least one
+    listener must be configured).  ``checkpoint_dir`` enables periodic
+    checkpoint/restore: every ``checkpoint_interval`` ingested items the
+    daemon atomically persists a ``repro-ckpt/1`` envelope (resolved
+    spec + pickled engine state + stream position), keeping the newest
+    ``checkpoint_retain`` files so a torn write can fall back to the
+    previous good one.  ``max_inflight_bytes`` bounds the bytes of
+    accepted-but-unapplied report frames — once the budget is full the
+    server stops reading, so backpressure reaches clients through the
+    transport instead of an unbounded queue.
+    """
+
+    host: str = "127.0.0.1"
+    port: Optional[int] = None
+    unix_socket: Optional[str] = None
+    checkpoint_dir: Optional[str] = None
+    checkpoint_interval: int = 50_000
+    checkpoint_retain: int = 2
+    max_inflight_bytes: int = 4 * 1024 * 1024
+
+    def __post_init__(self) -> None:
+        if not self.host or not isinstance(self.host, str):
+            raise ValueError(f"host must be a non-empty string, got {self.host!r}")
+        if self.port is not None and not 0 <= self.port <= 65535:
+            raise ValueError(
+                f"port must be in [0, 65535] or null, got {self.port}"
+            )
+        if self.port is None and self.unix_socket is None:
+            raise ValueError(
+                "service needs at least one listener: set port (0 = "
+                "ephemeral) and/or unix_socket"
+            )
+        if self.unix_socket is not None and not self.unix_socket:
+            raise ValueError("unix_socket must be a non-empty path or null")
+        _check_positive(
+            "checkpoint_interval", self.checkpoint_interval, allow_none=False
+        )
+        _check_positive(
+            "checkpoint_retain", self.checkpoint_retain, allow_none=False
+        )
+        _check_positive(
+            "max_inflight_bytes", self.max_inflight_bytes, allow_none=False
+        )
+
+
+@dataclass(frozen=True)
 class SketchSpec:
     """The root of the declarative configuration tree.
 
-    ``algorithm`` is mandatory; ``hierarchy``, ``sharding`` and
-    ``pipeline`` are optional sections.  A spec with no sharding and no
-    pipeline section builds a bare sketch; either section wraps it in a
-    :class:`repro.sharding.ShardedSketch` (a pipeline with no sharding
-    section runs on one shard).
+    ``algorithm`` is mandatory; ``hierarchy``, ``sharding``,
+    ``pipeline`` and ``service`` are optional sections.  A spec with no
+    sharding and no pipeline section builds a bare sketch; either
+    section wraps it in a :class:`repro.sharding.ShardedSketch` (a
+    pipeline with no sharding section runs on one shard).  The service
+    section does not change what :func:`~repro.engine.facade
+    .build_engine` builds — it describes how :mod:`repro.service` hosts
+    the engine as a daemon.
 
     Examples
     --------
@@ -308,6 +368,7 @@ class SketchSpec:
     hierarchy: Optional[HierarchySpec] = None
     sharding: Optional[ShardingSpec] = None
     pipeline: Optional[PipelineSpec] = None
+    service: Optional[ServiceSpec] = None
 
     def __post_init__(self) -> None:
         # cross-validate against the registry's declared requirements;
@@ -329,6 +390,8 @@ class SketchSpec:
             out["sharding"] = dataclasses.asdict(self.sharding)
         if self.pipeline is not None:
             out["pipeline"] = dataclasses.asdict(self.pipeline)
+        if self.service is not None:
+            out["service"] = dataclasses.asdict(self.service)
         return out
 
     @classmethod
@@ -343,28 +406,32 @@ class SketchSpec:
                 f"spec must be an object, got {type(payload).__name__}"
             )
         unknown = sorted(
-            set(payload) - {"algorithm", "hierarchy", "sharding", "pipeline"}
+            set(payload)
+            - {"algorithm", "hierarchy", "sharding", "pipeline", "service"}
         )
         if unknown:
             raise ValueError(
                 f"unknown spec section(s) {unknown}; expected a subset of "
-                f"['algorithm', 'hierarchy', 'pipeline', 'sharding']"
+                f"['algorithm', 'hierarchy', 'pipeline', 'service', 'sharding']"
             )
         if "algorithm" not in payload:
             raise ValueError("spec is missing the 'algorithm' section")
         algorithm = _from_section(AlgorithmSpec, payload["algorithm"], "algorithm")
-        hierarchy = sharding = pipeline = None
+        hierarchy = sharding = pipeline = service = None
         if payload.get("hierarchy") is not None:
             hierarchy = _from_section(HierarchySpec, payload["hierarchy"], "hierarchy")
         if payload.get("sharding") is not None:
             sharding = _from_section(ShardingSpec, payload["sharding"], "sharding")
         if payload.get("pipeline") is not None:
             pipeline = _from_section(PipelineSpec, payload["pipeline"], "pipeline")
+        if payload.get("service") is not None:
+            service = _from_section(ServiceSpec, payload["service"], "service")
         return cls(
             algorithm=algorithm,
             hierarchy=hierarchy,
             sharding=sharding,
             pipeline=pipeline,
+            service=service,
         )
 
     def to_json(self, indent: int = 2) -> str:

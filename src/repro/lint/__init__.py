@@ -17,6 +17,8 @@ in milliseconds, before any worker process exists:
             netwide layers
 ``RL006``   bench scripts record ``spec``/``transport`` metadata in
             every persisted row
+``RL007``   atomic checkpoints — ``repro/service/`` writes files only
+            through ``atomic_write_bytes`` (tmp + fsync + rename)
 ==========  ==========================================================
 
 ``RL000`` is the meta code: malformed, unjustified, unknown, or unused

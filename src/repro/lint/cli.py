@@ -31,7 +31,8 @@ def build_parser() -> argparse.ArgumentParser:
             "AST-based invariant linter for the repro codebase: lifecycle "
             "(RL001), raw multiprocessing (RL002), registry honesty "
             "(RL003), shm-ring discipline (RL004), hasattr sniffing "
-            "(RL005), bench metadata (RL006)."
+            "(RL005), bench metadata (RL006), atomic checkpoint "
+            "writes (RL007)."
         ),
     )
     parser.add_argument(

@@ -1,4 +1,4 @@
-"""The project-specific lint rules (RL001–RL006).
+"""The project-specific lint rules (RL001–RL007).
 
 Each rule encodes one of ROADMAP's "Standing invariants" as a static
 check; the docstrings below are the normative statements the text
@@ -23,6 +23,7 @@ __all__ = [
     "ShmDisciplineRule",
     "HasattrSniffRule",
     "BenchMetadataRule",
+    "AtomicCheckpointRule",
 ]
 
 
@@ -85,6 +86,12 @@ class LifecycleRule(Rule):
             "NetwideSystem",
             "build_engine",
             "HeavyHitterEngine",
+            # service layer: the daemon owns an engine (and its workers),
+            # clients own a socket — both unwind through close()
+            "IngestServer",
+            "ServiceDaemon",
+            "ServiceClient",
+            "AsyncServiceClient",
         }
     )
     #: Packages whose internals compose/own these objects by design.
@@ -99,6 +106,7 @@ class LifecycleRule(Rule):
         "repro/loadbalancer",
         "repro/traffic",
         "repro/lint",
+        "repro/service",
     )
 
     def _target_name(self, call: ast.Call) -> Optional[str]:
@@ -112,6 +120,11 @@ class LifecycleRule(Rule):
                 "HeavyHitterEngine",
             ):
                 return "HeavyHitterEngine.from_spec"
+            if func.attr == "connect" and attr_tail(func.value) in (
+                "ServiceClient",
+                "AsyncServiceClient",
+            ):
+                return f"{attr_tail(func.value)}.connect"
         return None
 
     def check(
@@ -690,3 +703,89 @@ class BenchMetadataRule(Rule):
                     f"{callee}(...) metadata lacks {', '.join(missing)} — "
                     "rows must reproduce from the JSON alone",
                 )
+
+
+@register_rule
+class AtomicCheckpointRule(Rule):
+    """RL007 — checkpoint files are written through the atomic helper.
+
+    Inside ``repro/service/``, every file write goes through
+    ``atomic_write_bytes`` (tmp + fsync + ``os.replace``): a plain
+    ``open(..., "w"/"wb"/"a")``, ``Path.write_bytes``, or
+    ``Path.write_text`` can leave a torn file under the final name on a
+    crash, which is exactly the failure mode the ``repro-ckpt/1``
+    recovery contract (fall back past torn files) assumes cannot happen
+    to a completed write.  Only the body of ``atomic_write_bytes``
+    itself may touch the low-level write path.
+    """
+
+    code = "RL007"
+    name = "atomic-checkpoint"
+    summary = (
+        "repro/service/ writes files only through atomic_write_bytes "
+        "(tmp + fsync + rename)"
+    )
+
+    #: Modes of ``open`` that create/modify the target in place.
+    _WRITE_MODES = ("w", "a", "x", "+")
+
+    def _enclosing_function(
+        self, node: ast.AST, parents: Dict[int, ast.AST]
+    ) -> Optional[str]:
+        cursor: Optional[ast.AST] = node
+        while cursor is not None:
+            cursor = parents.get(id(cursor))
+            if isinstance(cursor, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                return cursor.name
+        return None
+
+    def _open_mode(self, call: ast.Call) -> Optional[str]:
+        mode: Optional[ast.expr] = None
+        if len(call.args) > 1:
+            mode = call.args[1]
+        for kw in call.keywords:
+            if kw.arg == "mode":
+                mode = kw.value
+        if mode is None:
+            return "r"
+        if isinstance(mode, ast.Constant) and isinstance(mode.value, str):
+            return mode.value
+        return None  # dynamic mode: not statically checkable
+
+    def check(
+        self, module: ModuleInfo, project: ProjectIndex
+    ) -> Iterator[Finding]:
+        if not module.in_dir("repro/service"):
+            return
+        parents = _build_parents(module.tree)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            message: Optional[str] = None
+            func = node.func
+            if isinstance(func, ast.Name) and func.id == "open":
+                mode = self._open_mode(node)
+                if mode is not None and any(
+                    flag in mode for flag in self._WRITE_MODES
+                ):
+                    message = (
+                        f"open(..., {mode!r}) writes in place — a crash "
+                        "mid-write tears the file under its final name"
+                    )
+            elif isinstance(func, ast.Attribute) and func.attr in (
+                "write_bytes",
+                "write_text",
+            ):
+                message = (
+                    f".{func.attr}(...) writes in place — a crash mid-write "
+                    "tears the file under its final name"
+                )
+            if message is None:
+                continue
+            if self._enclosing_function(node, parents) == "atomic_write_bytes":
+                continue  # the sanctioned helper's own body
+            yield self.finding(
+                module,
+                node,
+                message + "; route the write through atomic_write_bytes()",
+            )

@@ -1,0 +1,6 @@
+"""``python -m repro.service`` — the ``repro-serve`` console entry point."""
+
+from .cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

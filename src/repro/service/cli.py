@@ -1,0 +1,153 @@
+"""The ``repro-serve`` command-line entry point.
+
+Usage::
+
+    repro-serve SPEC.json [--restore] [--checkpoint-dir DIR]
+                [--port N] [--unix-socket PATH]
+
+``SPEC.json`` is a :class:`~repro.engine.SketchSpec` file whose
+``service`` section fully describes the daemon (listeners, checkpoint
+cadence, backpressure budget); the flags override individual service
+fields without editing the file.  ``--restore`` rebuilds the engine
+from the newest good checkpoint in the (possibly overridden)
+checkpoint directory and resumes serving from its stream position.
+
+On startup the daemon prints exactly one JSON line to stdout::
+
+    {"event": "listening", "port": 9000, "unix_socket": null,
+     "position": 0, "restored": false}
+
+so supervisors can scrape the bound (possibly ephemeral) port and the
+resume position, then serves until SIGINT/SIGTERM, shutting down
+cleanly (final checkpoint + engine close).
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import dataclasses
+import json
+import signal
+import sys
+from typing import List, Optional
+
+from ..engine.spec import SketchSpec
+from .checkpoint import CheckpointStore
+from .server import IngestServer
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse parser (exposed for ``--help`` doc tooling)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-serve",
+        description=(
+            "Serve a heavy-hitter engine as an always-on daemon: "
+            "length-prefixed JSON protocol, bounded-inflight "
+            "backpressure, periodic atomic checkpoints."
+        ),
+    )
+    parser.add_argument(
+        "spec",
+        help="path to a SketchSpec JSON file with a service section",
+    )
+    parser.add_argument(
+        "--restore",
+        action="store_true",
+        help=(
+            "rebuild the engine from the newest good checkpoint in the "
+            "checkpoint directory and resume from its stream position"
+        ),
+    )
+    parser.add_argument(
+        "--checkpoint-dir",
+        default=None,
+        help="override the service section's checkpoint_dir",
+    )
+    parser.add_argument(
+        "--port",
+        type=int,
+        default=None,
+        help="override the service section's TCP port (0 = ephemeral)",
+    )
+    parser.add_argument(
+        "--unix-socket",
+        default=None,
+        help="override the service section's unix socket path",
+    )
+    return parser
+
+
+def _override_service(spec: SketchSpec, args: argparse.Namespace) -> SketchSpec:
+    """Apply CLI listener/checkpoint overrides to the service section."""
+    if spec.service is None:
+        raise SystemExit(
+            f"{args.spec}: spec has no service section; add one (e.g. "
+            '{"service": {"port": 0}})'
+        )
+    overrides = {}
+    if args.checkpoint_dir is not None:
+        overrides["checkpoint_dir"] = args.checkpoint_dir
+    if args.port is not None:
+        overrides["port"] = args.port
+    if args.unix_socket is not None:
+        overrides["unix_socket"] = args.unix_socket
+    if not overrides:
+        return spec
+    service = dataclasses.replace(spec.service, **overrides)
+    return dataclasses.replace(spec, service=service)
+
+
+async def _serve(spec: SketchSpec, restore: bool) -> int:
+    engine = None
+    position = 0
+    if restore:
+        if spec.service.checkpoint_dir is None:
+            print(
+                "--restore needs a checkpoint directory (service section "
+                "or --checkpoint-dir)",
+                file=sys.stderr,
+            )
+            return 2
+        store = CheckpointStore(
+            spec.service.checkpoint_dir, retain=spec.service.checkpoint_retain
+        )
+        engine, position = store.restore()
+    server = IngestServer(spec, engine=engine, position=position)
+    loop = asyncio.get_running_loop()
+    stop = asyncio.Event()
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        loop.add_signal_handler(signum, stop.set)
+    async with server:
+        print(
+            json.dumps(
+                {
+                    "event": "listening",
+                    "port": server.port,
+                    "unix_socket": spec.service.unix_socket,
+                    "position": position,
+                    "restored": bool(restore),
+                }
+            ),
+            flush=True,
+        )
+        await stop.wait()
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Run the daemon; returns the exit status."""
+    args = build_parser().parse_args(argv)
+    try:
+        spec = SketchSpec.from_file(args.spec)
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    spec = _override_service(spec, args)
+    return asyncio.run(_serve(spec, restore=args.restore))
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via repro-serve
+    sys.exit(main())

@@ -1,0 +1,139 @@
+"""``repro-wire/1``: the service's length-prefixed JSON frame format.
+
+One frame = a 4-byte big-endian payload length followed by that many
+bytes of UTF-8 JSON encoding a single object.  The explicit prefix (over
+newline-delimited JSON) gives the server an exact byte count per frame
+*before* parsing, which is what the inflight-bytes backpressure budget
+meters, and lets clients stream frames without worrying about embedded
+newlines.
+
+Requests carry ``{"op": ..., "id": ...}`` plus op-specific fields;
+responses echo ``id`` and carry ``{"ok": true, ...}`` or
+``{"ok": false, "error": ...}``.  Report/gap frames are fire-and-forget
+(no response) so a client can saturate the socket; any ingestion
+failure surfaces on the next synchronous op (``flush``/query) and in
+:class:`~repro.service.server.IngestServer` stats.
+
+Both async (server/async client) and blocking-socket (sync client)
+read/write helpers live here so the two sides cannot drift.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import socket
+import struct
+from typing import Dict, Optional, Tuple
+
+__all__ = [
+    "MAX_FRAME",
+    "ProtocolError",
+    "encode_frame",
+    "decode_payload",
+    "read_frame_async",
+    "read_frame_sized_async",
+    "read_frame_sync",
+    "send_frame_sync",
+]
+
+#: Hard per-frame ceiling (bytes of JSON payload).  A length prefix
+#: beyond this is treated as a corrupt or hostile stream, not an
+#: allocation request.
+MAX_FRAME = 64 * 1024 * 1024
+
+_LEN = struct.Struct(">I")
+
+
+class ProtocolError(RuntimeError):
+    """A malformed frame (bad length prefix, truncation, or bad JSON)."""
+
+
+def encode_frame(message: Dict[str, object]) -> bytes:
+    """Serialize one message to its on-wire bytes (prefix + JSON)."""
+    payload = json.dumps(message, separators=(",", ":")).encode("utf-8")
+    if len(payload) > MAX_FRAME:
+        raise ProtocolError(
+            f"frame of {len(payload)} bytes exceeds MAX_FRAME={MAX_FRAME}"
+        )
+    return _LEN.pack(len(payload)) + payload
+
+
+def decode_payload(payload: bytes) -> Dict[str, object]:
+    """Parse a frame payload into its message dict."""
+    try:
+        message = json.loads(payload)
+    except json.JSONDecodeError as exc:
+        raise ProtocolError(f"frame is not valid JSON: {exc}") from None
+    if not isinstance(message, dict):
+        raise ProtocolError(
+            f"frame must encode an object, got {type(message).__name__}"
+        )
+    return message
+
+
+def _check_length(raw: bytes) -> int:
+    length = _LEN.unpack(raw)[0]
+    if length > MAX_FRAME:
+        raise ProtocolError(
+            f"frame length {length} exceeds MAX_FRAME={MAX_FRAME}"
+        )
+    return length
+
+
+async def read_frame_sized_async(
+    reader: asyncio.StreamReader,
+) -> Optional[Tuple[Dict[str, object], int]]:
+    """Read one frame; returns ``(message, wire_bytes)`` where
+    ``wire_bytes`` is the frame's full on-wire size (prefix included) —
+    the quantity the server's inflight-bytes budget meters.  ``None`` on
+    clean EOF at a frame boundary."""
+    try:
+        raw = await reader.readexactly(_LEN.size)
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise ProtocolError("stream truncated inside a length prefix") from None
+    length = _check_length(raw)
+    try:
+        payload = await reader.readexactly(length)
+    except asyncio.IncompleteReadError:
+        raise ProtocolError("stream truncated inside a frame") from None
+    return decode_payload(payload), _LEN.size + length
+
+
+async def read_frame_async(
+    reader: asyncio.StreamReader,
+) -> Optional[Dict[str, object]]:
+    """Read one frame; ``None`` on clean EOF at a frame boundary."""
+    sized = await read_frame_sized_async(reader)
+    return None if sized is None else sized[0]
+
+
+def _recv_exactly(sock: socket.socket, count: int) -> bytes:
+    chunks = []
+    remaining = count
+    while remaining:
+        chunk = sock.recv(remaining)
+        if not chunk:
+            raise ProtocolError(
+                f"stream truncated: wanted {count} bytes, got {count - remaining}"
+            )
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def read_frame_sync(sock: socket.socket) -> Optional[Dict[str, object]]:
+    """Blocking :func:`read_frame_async`; ``None`` on clean EOF."""
+    first = sock.recv(1)
+    if not first:
+        return None
+    raw = first + _recv_exactly(sock, _LEN.size - 1)
+    length = _check_length(raw)
+    return decode_payload(_recv_exactly(sock, length))
+
+
+def send_frame_sync(sock: socket.socket, message: Dict[str, object]) -> None:
+    """Blocking send of one message (the socket's own buffering applies)."""
+    sock.sendall(encode_frame(message))

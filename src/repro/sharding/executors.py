@@ -51,11 +51,12 @@ get the resident-worker treatment.
 from __future__ import annotations
 
 import multiprocessing as mp
+import os
 import traceback
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from typing import Callable, List, Optional, Sequence, Tuple
 
-from .shm import PlanRing, rebuild_task, split_task
+from .shm import PlanRing, TRACKER_FORK_LOCK, rebuild_task, split_task
 
 __all__ = [
     "SerialExecutor",
@@ -68,6 +69,13 @@ __all__ = [
 
 #: Plan payload channels the persistent executor supports.
 TRANSPORTS = ("pipe", "shm")
+
+#: How long :meth:`PersistentProcessExecutor.collect` waits for a worker
+#: reply before raising.  A healthy worker answers in milliseconds even
+#: with a large resident state; the deadline exists so a wedged or dead
+#: worker turns into a loud, diagnosable failure instead of an infinite
+#: parent hang.
+DEFAULT_COLLECT_TIMEOUT = 120.0
 
 
 class SerialExecutor:
@@ -148,7 +156,11 @@ class ProcessExecutor(_PoolExecutor):
     _pool_cls = ProcessPoolExecutor
 
 
-def _persistent_worker(conn, ring_args: Optional[Tuple] = None) -> None:
+def _persistent_worker(
+    conn,
+    ring_args: Optional[Tuple] = None,
+    stale_fds: Tuple[int, ...] = (),
+) -> None:
     """Loop of one resident shard worker (module-level: must pickle).
 
     The worker owns its shard sketch for the lifetime of the process.
@@ -163,12 +175,34 @@ def _persistent_worker(conn, ring_args: Optional[Tuple] = None) -> None:
     poisons the worker — later applies are skipped and the error
     surfaces at the next collect — so the parent never silently
     continues on half-applied state.
+
+    Orphan safety: a plain blocking ``recv`` cannot notice a SIGKILLed
+    parent under the fork start method — every later-forked sibling
+    (and this worker itself) inherits a copy of the pipe's write end,
+    so EOF never arrives.  ``stale_fds`` are those inherited parent-end
+    descriptors (this pipe's and earlier siblings'); closing them first
+    thing restores real EOF/EPIPE semantics, so a worker blocked
+    **sending** a reply when the parent dies gets ``BrokenPipeError``
+    instead of sleeping forever on a socket its own inherited fd keeps
+    alive.  The loop additionally polls the pipe and exits when the
+    process is re-parented (``getppid`` changed) as a belt-and-braces
+    path; either way the shared resource tracker unlinks any shm rings
+    once the last worker is gone.
     """
+    for fd in stale_fds:
+        try:
+            os.close(fd)
+        except OSError:  # pragma: no cover - already closed elsewhere
+            pass
     shard = None
     error: Optional[str] = None
+    parent_pid = os.getppid()
     ring = PlanRing.attach(*ring_args) if ring_args is not None else None
     try:
         while True:
+            while not conn.poll(1.0):
+                if os.getppid() != parent_pid:
+                    return  # orphaned: parent died without ("stop",)
             try:
                 msg = conn.recv()
             except EOFError:  # parent went away
@@ -271,6 +305,11 @@ class PersistentProcessExecutor:
         processes blocked on ``recv`` or unlinked segments.
         """
         self.close()
+        # under fork, each worker inherits the parent end of its own
+        # pipe and of every earlier sibling's; hand those fd numbers to
+        # the child so it can close them and restore EOF/EPIPE semantics
+        # (meaningless under spawn, where fds are not inherited)
+        fork = self._ctx.get_start_method() == "fork"
         try:
             for shard in shards:
                 ring_args = None
@@ -281,12 +320,26 @@ class PersistentProcessExecutor:
                 else:
                     self._rings.append(None)
                 parent_conn, child_conn = self._ctx.Pipe()
+                stale_fds = (
+                    tuple(c.fileno() for c in self._conns)
+                    + (parent_conn.fileno(),)
+                    if fork
+                    else ()
+                )
                 worker = self._ctx.Process(
                     target=_persistent_worker,
-                    args=(child_conn, ring_args),
+                    args=(child_conn, ring_args, stale_fds),
                     daemon=True,
                 )
-                worker.start()
+                # under fork, starting a worker while another thread (a
+                # second engine's pipeline, say) sits in a resource-
+                # tracker critical section would hand the child that
+                # lock in a locked state — it then deadlocks on its
+                # attach-time tracker registration before ever reading
+                # its pipe.  TRACKER_FORK_LOCK serializes the fork
+                # against every tracker touchpoint in this package.
+                with TRACKER_FORK_LOCK:
+                    worker.start()
                 child_conn.close()
                 self._workers.append(worker)
                 self._conns.append(parent_conn)
@@ -330,13 +383,33 @@ class PersistentProcessExecutor:
         for conn in self._conns:
             conn.send(("apply", fn, *args))
 
-    def collect(self) -> List:
-        """Fetch current shard states (the sync point; raises on failure)."""
+    def collect(
+        self, timeout: Optional[float] = DEFAULT_COLLECT_TIMEOUT
+    ) -> List:
+        """Fetch current shard states (the sync point; raises on failure).
+
+        Each worker gets up to ``timeout`` seconds to start replying
+        (``None`` waits forever).  The deadline is far above any healthy
+        reply latency — it exists so a wedged or silently-dead worker
+        surfaces as a ``RuntimeError`` naming the worker and its state
+        instead of deadlocking the parent (and CI) indefinitely.
+        """
         for conn in self._conns:
             conn.send(("collect",))
         states: List = []
         failures: List[str] = []
-        for conn in self._conns:
+        for index, conn in enumerate(self._conns):
+            if timeout is not None and not conn.poll(timeout):
+                worker = self._workers[index]
+                status = (
+                    "alive"
+                    if worker.is_alive()
+                    else f"dead (exitcode {worker.exitcode})"
+                )
+                raise RuntimeError(
+                    f"persistent shard worker {index} sent no reply for "
+                    f"{timeout}s (worker {status}) — wedged or deadlocked"
+                )
             kind, payload = conn.recv()
             if kind == "error":
                 failures.append(payload)

@@ -823,6 +823,45 @@ class ShardedSketch(BatchIngest):
         """Global packets ingested (including gap advances)."""
         return self._updates
 
+    def state_snapshot(self) -> Dict[str, object]:
+        """Serializable snapshot of the full ensemble state.
+
+        Drains the pipeline and pulls any resident worker state back
+        into the parent first, so the returned shards reflect every
+        write accepted so far.  The shard sketches in the snapshot are
+        the live objects, not copies — serialize (pickle) the snapshot
+        before ingesting further, which is exactly what the checkpoint
+        writer in :mod:`repro.service` does.
+        """
+        self._sync_shards()
+        return {
+            "shards": list(self._shards),
+            "updates": self._updates,
+        }
+
+    def restore_state(self, state: Dict[str, object]) -> None:
+        """Adopt a :meth:`state_snapshot` as the current ensemble state.
+
+        The pipeline and any resident workers are unwound first (via
+        :meth:`close` — idempotent, so later writes restart/re-seed
+        lazily), then the snapshot's shard sketches replace the current
+        ones and the merge cache is invalidated.  The snapshot must come
+        from a sketch with the same shard count.
+        """
+        shards = state["shards"]
+        if len(shards) != self.num_shards:
+            raise ValueError(
+                f"snapshot has {len(shards)} shard(s), this sketch has "
+                f"{self.num_shards}"
+            )
+        self.close()
+        self._shards = list(shards)
+        self._updates = int(state["updates"])
+        self._version += 1
+        self._merged_entries = None
+        self._merged_view = None
+        self._merge_version = -1
+
     def close(self) -> None:
         """Release the pipeline thread and the executor's workers.
 

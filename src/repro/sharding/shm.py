@@ -58,6 +58,7 @@ from __future__ import annotations
 
 import os
 import secrets
+import threading
 import time
 from pathlib import Path
 from typing import List, Optional, Sequence, Tuple
@@ -73,7 +74,26 @@ __all__ = [
     "rebuild_task",
     "leaked_segments",
     "SEGMENT_PREFIX",
+    "TRACKER_FORK_LOCK",
 ]
+
+#: Serializes worker **forks** against resource-tracker critical
+#: sections.  Creating/unlinking a ``SharedMemory`` segment registers it
+#: with the process-global ``multiprocessing.resource_tracker``, whose
+#: internal lock is NOT reinitialized across ``fork()``: a worker forked
+#: (by one engine's pipeline thread) at the instant another thread (a
+#: second engine's) holds that lock inherits it locked forever, and the
+#: child then deadlocks on its first tracker call — its attach-time
+#: ``SharedMemory`` registration — before ever reading its pipe, which
+#: in turn wedges the parent's next ``collect()``.  Every parent-side
+#: tracker touchpoint in this package (ring create/unlink) and every
+#: ``Process.start()`` in the persistent executor takes this lock, so a
+#: fork can never observe the tracker lock mid-critical-section (the
+#: worker-side :meth:`PlanRing.attach` must NOT take it — the child
+#: inherits it in the locked state).  An ``RLock`` because a
+#: GC-triggered ``PlanRing.__del__`` may fire inside a locked region on
+#: the same thread.
+TRACKER_FORK_LOCK = threading.RLock()
 
 #: Shared-memory segment name prefix (``{prefix}_{pid}_{token}``): the
 #: pid scopes :func:`leaked_segments` to the creating process.
@@ -132,9 +152,12 @@ class PlanRing:
         self.slot_bytes = int(slot_bytes)
         if name is None:
             name = f"{SEGMENT_PREFIX}_{os.getpid()}_{secrets.token_hex(4)}"
-        self._shm = shared_memory.SharedMemory(
-            name=name, create=True, size=_CTRL_BYTES + self.slots * self.slot_bytes
-        )
+        with TRACKER_FORK_LOCK:  # creation registers with the tracker
+            self._shm = shared_memory.SharedMemory(
+                name=name,
+                create=True,
+                size=_CTRL_BYTES + self.slots * self.slot_bytes,
+            )
         self._owner = True
         self._retired = np.ndarray((1,), dtype=np.uint64, buffer=self._shm.buf)
         self._retired[0] = 0
@@ -152,6 +175,11 @@ class PlanRing:
         ring = cls.__new__(cls)
         ring.slots = int(slots)
         ring.slot_bytes = int(slot_bytes)
+        # deliberately NOT under TRACKER_FORK_LOCK: attach runs in the
+        # freshly forked worker, which inherited that lock in the locked
+        # state (the parent holds it across the fork precisely so the
+        # tracker's own lock is free here) — taking it would self-
+        # deadlock, and no sibling thread exists in the child to race
         shm = shared_memory.SharedMemory(name=name)
         ring._shm = shm
         ring._owner = False
@@ -271,7 +299,8 @@ class PlanRing:
             pass
         if self._owner:
             try:
-                shm.unlink()
+                with TRACKER_FORK_LOCK:  # unlink unregisters with the tracker
+                    shm.unlink()
             except FileNotFoundError:  # pragma: no cover - already gone
                 pass
 

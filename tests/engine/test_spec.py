@@ -10,6 +10,7 @@ from repro.engine import (
     AlgorithmSpec,
     HierarchySpec,
     PipelineSpec,
+    ServiceSpec,
     ShardingSpec,
     SketchSpec,
     build_engine,
@@ -217,6 +218,82 @@ class TestPipelineSpecHelpers:
         assert pipeline_spec_for(False) is None
         assert pipeline_spec_for(True) == PipelineSpec()
         assert pipeline_spec_for(512) == PipelineSpec(buffer_size=512)
+
+
+class TestServiceSpec:
+    def payload(self, **service):
+        out = spec_payload("memento")
+        out["service"] = {"port": 0, **service}
+        return out
+
+    def test_round_trip(self):
+        spec = SketchSpec.from_dict(
+            self.payload(
+                unix_socket="/tmp/repro.sock",
+                checkpoint_dir="ckpts",
+                checkpoint_interval=1000,
+                checkpoint_retain=3,
+                max_inflight_bytes=1 << 20,
+            )
+        )
+        assert spec.service == ServiceSpec(
+            port=0,
+            unix_socket="/tmp/repro.sock",
+            checkpoint_dir="ckpts",
+            checkpoint_interval=1000,
+            checkpoint_retain=3,
+            max_inflight_bytes=1 << 20,
+        )
+        assert SketchSpec.from_dict(spec.to_dict()) == spec
+        assert SketchSpec.from_json(spec.to_json()) == spec
+
+    def test_section_omitted_when_absent(self):
+        spec = SketchSpec.from_dict(spec_payload("memento"))
+        assert spec.service is None
+        assert "service" not in spec.to_dict()
+
+    def test_needs_a_listener(self):
+        with pytest.raises(ValueError, match="at least one listener"):
+            ServiceSpec(port=None, unix_socket=None)
+
+    def test_port_range(self):
+        with pytest.raises(ValueError, match="port"):
+            ServiceSpec(port=70000)
+        with pytest.raises(ValueError, match="port"):
+            ServiceSpec(port=-1)
+
+    def test_unix_socket_alone_is_enough(self):
+        spec = ServiceSpec(unix_socket="/tmp/repro.sock")
+        assert spec.port is None
+
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("checkpoint_interval", 0),
+            ("checkpoint_retain", 0),
+            ("max_inflight_bytes", -1),
+        ],
+    )
+    def test_range_checks(self, field, value):
+        payload = self.payload(**{field: value})
+        with pytest.raises(ValueError, match=field):
+            SketchSpec.from_dict(payload)
+
+    def test_unknown_service_key(self):
+        with pytest.raises(ValueError, match="unknown service key"):
+            SketchSpec.from_dict(self.payload(prot=9))
+
+    def test_unknown_section_error_lists_service(self):
+        with pytest.raises(ValueError, match="'service'"):
+            SketchSpec.from_dict({**spec_payload("memento"), "nope": {}})
+
+    def test_build_engine_ignores_service_section(self):
+        # the section describes hosting, not construction: engines from
+        # the same spec with/without it are interchangeable
+        with build_engine(self.payload()) as engine:
+            engine.update_many(list(range(64)))
+            assert engine.stats()["updates"] == 64
+            assert engine.spec.service is not None
         assert pipeline_spec_for(PipelineConfig(128, 3)) == PipelineSpec(128, 3)
         spec = PipelineSpec(64, 4)
         assert pipeline_spec_for(spec) is spec

@@ -8,7 +8,7 @@ from repro.lint import render_json, render_text
 from repro.lint.cli import main
 from repro.lint.report import JSON_FORMAT
 
-ALL_CODES = ["RL001", "RL002", "RL003", "RL004", "RL005", "RL006"]
+ALL_CODES = ["RL001", "RL002", "RL003", "RL004", "RL005", "RL006", "RL007"]
 
 
 @pytest.fixture

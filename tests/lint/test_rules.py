@@ -102,6 +102,65 @@ class TestLifecycleRL001:
         )
         assert codes(result) == []
 
+    def test_leaked_service_daemon_fires(self, run_lint, codes):
+        result = run_lint(
+            {
+                "app.py": """
+                def main(spec):
+                    daemon = ServiceDaemon(spec)
+                    daemon.start()
+                """
+            },
+            select={"RL001"},
+        )
+        assert codes(result) == ["RL001"]
+        assert "never closed" in result.findings[0].message
+
+    def test_leaked_service_client_connect_fires(self, run_lint, codes):
+        result = run_lint(
+            {
+                "app.py": """
+                def main(port):
+                    client = ServiceClient.connect(port=port)
+                    client.report([1, 2, 3])
+                """
+            },
+            select={"RL001"},
+        )
+        assert codes(result) == ["RL001"]
+
+    def test_service_with_blocks_are_clean(self, run_lint, codes):
+        result = run_lint(
+            {
+                "app.py": """
+                def main(spec):
+                    with ServiceDaemon(spec) as daemon:
+                        with ServiceClient.connect(port=daemon.port) as client:
+                            client.report([1])
+
+                async def amain(spec, port):
+                    async with IngestServer(spec) as server:
+                        async with AsyncServiceClient.connect(port=port) as client:
+                            await client.flush()
+                """
+            },
+            select={"RL001"},
+        )
+        assert codes(result) == []
+
+    def test_service_package_is_exempt(self, run_lint, codes):
+        result = run_lint(
+            {
+                "repro/service/helper.py": """
+                def main(spec):
+                    server = IngestServer(spec)
+                    server.port
+                """
+            },
+            select={"RL001"},
+        )
+        assert codes(result) == []
+
 
 class TestRawMultiprocessingRL002:
     def test_raw_process_fires(self, run_lint, codes):
@@ -444,5 +503,89 @@ class TestBenchMetadataRL006:
                 """
             },
             select={"RL006"},
+        )
+        assert codes(result) == []
+
+
+class TestAtomicCheckpointRL007:
+    def test_plain_open_write_fires(self, run_lint, codes):
+        result = run_lint(
+            {
+                "repro/service/store.py": """
+                def save(path, blob):
+                    with open(path, "wb") as fh:
+                        fh.write(blob)
+                """
+            },
+            select={"RL007"},
+        )
+        assert codes(result) == ["RL007"]
+        assert "atomic_write_bytes" in result.findings[0].message
+
+    def test_path_write_bytes_fires(self, run_lint, codes):
+        result = run_lint(
+            {
+                "repro/service/store.py": """
+                def save(path, blob):
+                    path.write_bytes(blob)
+                """
+            },
+            select={"RL007"},
+        )
+        assert codes(result) == ["RL007"]
+        assert "write_bytes" in result.findings[0].message
+
+    def test_write_text_fires(self, run_lint, codes):
+        result = run_lint(
+            {
+                "repro/service/meta.py": """
+                def note(path, text):
+                    path.write_text(text)
+                """
+            },
+            select={"RL007"},
+        )
+        assert codes(result) == ["RL007"]
+
+    def test_atomic_helper_body_is_exempt(self, run_lint, codes):
+        result = run_lint(
+            {
+                "repro/service/store.py": """
+                import os
+
+                def atomic_write_bytes(path, data):
+                    tmp = path.with_name(path.name + ".tmp")
+                    with open(tmp, "wb") as fh:
+                        fh.write(data)
+                        os.fsync(fh.fileno())
+                    os.replace(tmp, path)
+                """
+            },
+            select={"RL007"},
+        )
+        assert codes(result) == []
+
+    def test_reads_are_clean(self, run_lint, codes):
+        result = run_lint(
+            {
+                "repro/service/load.py": """
+                def load(path):
+                    with open(path, "rb") as fh:
+                        return fh.read()
+                """
+            },
+            select={"RL007"},
+        )
+        assert codes(result) == []
+
+    def test_outside_service_is_exempt(self, run_lint, codes):
+        result = run_lint(
+            {
+                "repro/bench/out.py": """
+                def save(path, text):
+                    path.write_text(text)
+                """
+            },
+            select={"RL007"},
         )
         assert codes(result) == []

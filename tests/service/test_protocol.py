@@ -1,0 +1,100 @@
+"""``repro-wire/1`` framing: encode/decode round-trips and guards."""
+
+from __future__ import annotations
+
+import socket
+import struct
+import threading
+
+import pytest
+
+from repro.service.protocol import (
+    MAX_FRAME,
+    ProtocolError,
+    decode_payload,
+    encode_frame,
+    read_frame_sync,
+    send_frame_sync,
+)
+
+
+class TestEncodeDecode:
+    def test_round_trip(self):
+        message = {"op": "report", "items": [1, 2, 3], "id": 7}
+        raw = encode_frame(message)
+        length = struct.unpack(">I", raw[:4])[0]
+        assert length == len(raw) - 4
+        assert decode_payload(raw[4:]) == message
+
+    def test_non_object_payload_rejected(self):
+        with pytest.raises(ProtocolError, match="object"):
+            decode_payload(b"[1, 2, 3]")
+
+    def test_bad_json_rejected(self):
+        with pytest.raises(ProtocolError, match="JSON"):
+            decode_payload(b"{nope")
+
+    def test_oversized_frame_rejected(self):
+        huge = {"blob": "x" * (MAX_FRAME + 1)}
+        with pytest.raises(ProtocolError, match="MAX_FRAME"):
+            encode_frame(huge)
+
+
+class TestSyncSocketIO:
+    def pair(self):
+        return socket.socketpair()
+
+    def test_round_trip_over_socketpair(self):
+        a, b = self.pair()
+        try:
+            send_frame_sync(a, {"op": "gap", "count": 4})
+            send_frame_sync(a, {"op": "flush", "id": 1})
+            assert read_frame_sync(b) == {"op": "gap", "count": 4}
+            assert read_frame_sync(b) == {"op": "flush", "id": 1}
+        finally:
+            a.close()
+            b.close()
+
+    def test_clean_eof_returns_none(self):
+        a, b = self.pair()
+        try:
+            a.close()
+            assert read_frame_sync(b) is None
+        finally:
+            b.close()
+
+    def test_truncated_frame_raises(self):
+        a, b = self.pair()
+        try:
+            raw = encode_frame({"op": "flush", "id": 1})
+            a.sendall(raw[: len(raw) - 2])
+            a.close()
+            with pytest.raises(ProtocolError, match="truncated"):
+                read_frame_sync(b)
+        finally:
+            b.close()
+
+    def test_hostile_length_prefix_raises(self):
+        a, b = self.pair()
+        try:
+            a.sendall(struct.pack(">I", MAX_FRAME + 1))
+            with pytest.raises(ProtocolError, match="MAX_FRAME"):
+                read_frame_sync(b)
+        finally:
+            a.close()
+            b.close()
+
+    def test_large_frame_across_recv_chunks(self):
+        # bigger than one recv() buffer: exercises the re-read loop
+        message = {"op": "report", "items": list(range(50_000))}
+        a, b = self.pair()
+        try:
+            writer = threading.Thread(
+                target=send_frame_sync, args=(a, message)
+            )
+            writer.start()
+            assert read_frame_sync(b) == message
+            writer.join()
+        finally:
+            a.close()
+            b.close()

@@ -3,6 +3,8 @@
 from __future__ import annotations
 
 import random
+import threading
+import time
 
 import pytest
 
@@ -308,9 +310,105 @@ class TestPersistentExecutor:
         finally:
             executor.close()
 
+    def test_collect_deadline_names_unresponsive_worker(self):
+        # a worker that never starts replying must surface as a
+        # diagnostic error at the deadline, not hang the parent
+        executor = PersistentProcessExecutor()
+        executor.seed([ExactWindowCounter(8)])
+        try:
+            executor.submit(_stall, [(1.5,)])
+            with pytest.raises(RuntimeError, match="sent no reply"):
+                executor.collect(timeout=0.2)
+        finally:
+            # the late reply and the stop message still drain cleanly
+            executor.close()
+
+    def test_fork_serialized_against_tracker_sections(self):
+        # regression: under the fork start method, a worker forked while
+        # another thread sits in a resource-tracker critical section
+        # inherits the tracker's lock in a locked state and deadlocks on
+        # its first shm registration.  seed() must therefore hold
+        # TRACKER_FORK_LOCK across every Process.start().
+        from repro.sharding.shm import TRACKER_FORK_LOCK
+
+        executor = PersistentProcessExecutor()
+        real_ctx = executor._ctx
+        lock_free_during_start = []
+
+        class _ProbeCtx:
+            def __getattr__(self, name):
+                return getattr(real_ctx, name)
+
+            def Process(self, *args, **kwargs):
+                proc = real_ctx.Process(*args, **kwargs)
+                real_start = proc.start
+
+                def start():
+                    # probe from a sibling thread: the RLock would let
+                    # the seeding thread itself re-acquire trivially
+                    acquired = []
+
+                    def try_acquire():
+                        got = TRACKER_FORK_LOCK.acquire(blocking=False)
+                        if got:
+                            TRACKER_FORK_LOCK.release()
+                        acquired.append(got)
+
+                    probe = threading.Thread(target=try_acquire)
+                    probe.start()
+                    probe.join()
+                    lock_free_during_start.append(acquired[0])
+                    real_start()
+
+                proc.start = start
+                return proc
+
+        executor._ctx = _ProbeCtx()
+        try:
+            executor.seed([ExactWindowCounter(8), ExactWindowCounter(8)])
+            assert lock_free_during_start == [False, False]
+            assert len(executor.collect()) == 2  # workers functional
+        finally:
+            executor._ctx = real_ctx
+            executor.close()
+
+    def test_concurrent_pipelined_shm_engines(self):
+        # two pipelined shm engines seed, feed, and close concurrently:
+        # each engine's dispatcher thread forks workers while the other
+        # creates tracker-registered rings — the interleaving that
+        # deadlocked workers before fork/tracker serialization
+        stream = make_stream(n=1500)
+
+        def run(results, idx):
+            with ShardedSketch(
+                memento_factory,
+                shards=2,
+                executor=PersistentProcessExecutor(transport="shm"),
+                pipeline=True,
+            ) as sharded:
+                sharded.update_many(stream)
+                results[idx] = [sharded.query(key) for key in range(31)]
+
+        for _ in range(2):
+            results = [None, None]
+            threads = [
+                threading.Thread(target=run, args=(results, i))
+                for i in range(2)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            assert results[0] is not None
+            assert results[0] == results[1]
+
 
 def _poison(shard):
     raise ValueError("boom")
+
+
+def _stall(shard, seconds):
+    time.sleep(seconds)
 
 
 def _forty_two():

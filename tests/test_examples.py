@@ -39,6 +39,14 @@ class TestExamplesRun:
         assert "state-identical: True" in out
         assert "registered family" in out
 
+    def test_service_quickstart(self, capsys):
+        load_example("service_quickstart").main()
+        out = capsys.readouterr().out
+        assert "listening on 127.0.0.1:" in out
+        assert "window heavy hitters" in out
+        assert "40000 packets applied" in out
+        assert "top-5 identical: True" in out
+
     @pytest.mark.slow
     def test_algorithm_comparison(self, capsys):
         load_example("algorithm_comparison").main()

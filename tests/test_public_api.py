@@ -7,6 +7,7 @@ import doctest
 import importlib
 import inspect
 import pkgutil
+from pathlib import Path
 
 import pytest
 
@@ -32,6 +33,7 @@ class TestExports:
             "repro.loadbalancer",
             "repro.analysis",
             "repro.experiments",
+            "repro.service",
             "repro.cli",
         ):
             importlib.import_module(pkg)
@@ -45,10 +47,20 @@ class TestExports:
             "repro.netwide",
             "repro.loadbalancer",
             "repro.analysis",
+            "repro.service",
         ):
             module = importlib.import_module(pkg_name)
             for name in module.__all__:
                 assert hasattr(module, name), f"{pkg_name}.{name}"
+
+    def test_console_scripts_resolve(self):
+        tomllib = pytest.importorskip("tomllib")
+        pyproject = Path(__file__).parent.parent / "pyproject.toml"
+        scripts = tomllib.loads(pyproject.read_text())["project"]["scripts"]
+        assert scripts["repro-serve"] == "repro.service.cli:main"
+        for target in scripts.values():
+            module_name, func = target.split(":")
+            assert callable(getattr(importlib.import_module(module_name), func))
 
 
 def _all_modules():
@@ -90,10 +102,12 @@ EXPECTED_EXPORTS = (
     "AggregatingPoint",
     "AggregationController",
     "AlgorithmSpec",
+    "AsyncServiceClient",
     "BACKBONE",
     "BernoulliSampler",
     "BudgetModel",
     "ChangeEvent",
+    "CheckpointStore",
     "DATACENTER",
     "EDGE",
     "ExactIntervalCounter",
@@ -112,6 +126,7 @@ EXPECTED_EXPORTS = (
     "HierarchySpec",
     "HttpRequest",
     "HttpTrafficGenerator",
+    "IngestServer",
     "IntervalScheme",
     "MST",
     "Memento",
@@ -132,6 +147,9 @@ EXPECTED_EXPORTS = (
     "SRC_HIERARCHY",
     "SamplingPoint",
     "SerialExecutor",
+    "ServiceClient",
+    "ServiceDaemon",
+    "ServiceSpec",
     "SetQuality",
     "ShardedSketch",
     "ShardingSpec",
@@ -209,7 +227,13 @@ EXPECTED_ENGINE_SIGNATURES = {
     ),
 }
 
-EXPECTED_SPEC_FIELDS = ("algorithm", "hierarchy", "sharding", "pipeline")
+EXPECTED_SPEC_FIELDS = (
+    "algorithm",
+    "hierarchy",
+    "sharding",
+    "pipeline",
+    "service",
+)
 
 
 class TestApiStabilityGate:
